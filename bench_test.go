@@ -1,0 +1,259 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation section (see DESIGN.md §3 for the experiment index). Each
+// benchmark runs the corresponding harness experiment at laptop scale and
+// prints the regenerated table/series; absolute numbers depend on the host,
+// but the qualitative shape is the reproduction target recorded in
+// EXPERIMENTS.md.
+//
+// Run everything:
+//
+//	go test -bench=Fig -benchtime=1x
+//
+// The -benchtime=1x setting is recommended: each "iteration" is a complete
+// multi-trial experiment.
+package leashedsgd_test
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"leashedsgd/internal/harness"
+	"leashedsgd/internal/queuemodel"
+	"leashedsgd/internal/sgd"
+)
+
+// benchScale is the laptop-scale configuration every figure benchmark uses.
+func benchScale() harness.Scale {
+	sc := harness.Small()
+	sc.Trials = 2
+	sc.MaxTime = 6 * time.Second
+	return sc
+}
+
+// benchThreads spans 1..2×cores, covering the paper's oversubscribed regime.
+func benchThreads() []int {
+	max := runtime.GOMAXPROCS(0)
+	out := []int{1}
+	for m := 2; m <= max*2; m *= 2 {
+		out = append(out, m)
+	}
+	return out
+}
+
+func benchWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// BenchmarkFig3ConvergenceRate regenerates Fig. 3 (left): ε=50% convergence
+// time under varying parallelism for SEQ, ASYNC, HOG and the three Leashed
+// persistence configurations.
+func BenchmarkFig3ConvergenceRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		conv, _, _ := harness.Fig3Scalability(benchScale(), harness.AllAlgos(), benchThreads(), 0.5)
+		if i == 0 {
+			conv.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig3ComputationalEfficiency regenerates Fig. 3 (right): wall-clock
+// time per SGD iteration vs thread count.
+func BenchmarkFig3ComputationalEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, comp, _ := harness.Fig3Scalability(benchScale(), harness.StandardAlgos(), benchThreads(), 0.5)
+		if i == 0 {
+			comp.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig4HighPrecision regenerates Fig. 4: time to increasingly strict
+// precision targets at fixed parallelism (the paper's m=16; here the core
+// count).
+func BenchmarkFig4HighPrecision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.MaxTime = 8 * time.Second
+		tbl, _ := harness.Fig4Precision(sc, harness.StandardAlgos(), benchWorkers(),
+			[]float64{0.5, 0.25, 0.1})
+		if i == 0 {
+			tbl.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig5Traces regenerates Fig. 5: training-loss-over-time curves per
+// algorithm.
+func BenchmarkFig5Traces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		specs := harness.StandardAlgos()
+		_, cells := harness.Fig4Precision(benchScale(), specs, benchWorkers(), []float64{0.25})
+		if i == 0 {
+			harness.Fig5Traces(os.Stdout,
+				fmt.Sprintf("Fig.5: MLP loss over time, m=%d", benchWorkers()), cells, specs)
+		}
+	}
+}
+
+// BenchmarkFig6Staleness regenerates Fig. 6: the staleness distributions,
+// showing the persistence bound's regulation (LSH_ps0 ≤ LSH_ps1 ≤ LSH_ps∞).
+func BenchmarkFig6Staleness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		specs := harness.StandardAlgos()
+		_, cells := harness.Fig4Precision(benchScale(), specs, benchWorkers(), []float64{0.5})
+		if i == 0 {
+			tbl := harness.Fig6Staleness(os.Stdout,
+				fmt.Sprintf("Fig.6: MLP staleness, m=%d", benchWorkers()), cells, specs)
+			tbl.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig7CNN regenerates Fig. 7 (all three panels): CNN convergence
+// rate, training traces, and staleness.
+func BenchmarkFig7CNN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Arch = harness.SmallCNN
+		sc.Samples = 256
+		sc.MaxTime = 10 * time.Second
+		specs := harness.StandardAlgos()
+		tbl, cells := harness.Fig4Precision(sc, specs, benchWorkers(), []float64{0.75, 0.5})
+		if i == 0 {
+			tbl.Render(os.Stdout)
+			harness.Fig5Traces(os.Stdout, "Fig.7(mid): CNN loss over time", cells, specs)
+			stal := harness.Fig6Staleness(os.Stdout, "Fig.7(right): CNN staleness", cells, specs)
+			stal.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig4HighParallelism regenerates the S4 stress test (Fig. 4/6
+// middle+right panels): oversubscribed thread counts, the regime where the
+// baselines destabilize in the paper.
+func BenchmarkFig4HighParallelism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := 2 * runtime.GOMAXPROCS(0) // max hyper-threading analogue
+		sc := benchScale()
+		sc.MaxTime = 8 * time.Second
+		specs := harness.StandardAlgos()
+		tbl, cells := harness.Fig4Precision(sc, specs, m, []float64{0.75, 0.5})
+		if i == 0 {
+			tbl.Render(os.Stdout)
+			stal := harness.Fig6Staleness(os.Stdout,
+				fmt.Sprintf("Fig.6(right): staleness, m=%d", m), cells, specs)
+			stal.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig8StepSize regenerates Fig. 8: convergence rate (left) and
+// statistical efficiency (right) across step sizes.
+func BenchmarkFig8StepSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Trials = 1
+		conv, stat := harness.Fig8StepSize(sc, harness.StandardAlgos(), benchWorkers(),
+			[]float64{0.01, 0.03, 0.05, 0.07, 0.09}, 0.5)
+		if i == 0 {
+			conv.Render(os.Stdout)
+			stat.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig9TcTu regenerates Fig. 9: gradient-computation (Tc) and
+// update (Tu) time distributions for the MLP and CNN, plus the Tc/Tu ratio
+// the Sec. IV model is parameterized by.
+func BenchmarkFig9TcTu(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.MaxTime = 4 * time.Second
+		tbl := harness.Fig9TcTu(sc, []harness.Arch{harness.SmallMLP, harness.SmallCNN}, benchWorkers())
+		if i == 0 {
+			tbl.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig10Memory regenerates Fig. 10: ParameterVector memory
+// consumption across thread counts for MLP and CNN — the baselines'
+// constant 2m+1 against Leashed's recycled ≤3m.
+func BenchmarkFig10Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.MaxTime = 3 * time.Second
+		mlp := harness.Fig10Memory(sc, harness.StandardAlgos(), benchThreads())
+		scCNN := sc
+		scCNN.Arch = harness.SmallCNN
+		scCNN.Samples = 256
+		cnn := harness.Fig10Memory(scCNN, harness.StandardAlgos(), benchThreads())
+		if i == 0 {
+			mlp.Render(os.Stdout)
+			cnn.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkTableIPlan prints the Table I experiment overview (a constant
+// table; benchmarked for completeness of the per-artifact index).
+func BenchmarkTableIPlan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := harness.TableI()
+		if i == 0 {
+			tbl.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkQueueModelVsSim validates the Sec. IV fluid model against the
+// discrete-event simulator across parameterizations (Theorem 3 /
+// Corollaries 3.1-3.2 shape check).
+func BenchmarkQueueModelVsSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range []int{8, 16, 34} {
+			p := queuemodel.Params{M: m, Tc: 10, Tu: 2}
+			ideal := queuemodel.Simulate(p, queuemodel.SimOptions{Tp: -1, Steps: 100000, Seed: 7})
+			ps0 := queuemodel.Simulate(p, queuemodel.SimOptions{Tp: 0, Contention: true, Steps: 100000, Seed: 7})
+			if i == 0 {
+				fmt.Printf("m=%-3d fluid n*=%.2f sim(ideal)=%.2f sim(Tp=0)=%.2f dropped=%d\n",
+					m, p.FixedPoint(), ideal.MeanOccupancy, ps0.MeanOccupancy, ps0.Dropped)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPersistence is the DESIGN.md ablation bench: Leashed-SGD
+// across the full persistence dial on one workload, isolating the
+// contention-regulation design choice.
+func BenchmarkAblationPersistence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.Trials = 1
+		sc.MaxTime = 5 * time.Second
+		specs := []harness.AlgoSpec{
+			{Name: "LSH_ps0", Algo: sgd.Leashed, Persistence: 0},
+			{Name: "LSH_ps1", Algo: sgd.Leashed, Persistence: 1},
+			{Name: "LSH_ps4", Algo: sgd.Leashed, Persistence: 4},
+			{Name: "LSH_ps16", Algo: sgd.Leashed, Persistence: 16},
+			{Name: "LSH_psInf", Algo: sgd.Leashed, Persistence: sgd.PersistenceInf},
+			{Name: "LSH_adpt", Algo: sgd.LeashedAdaptive, Persistence: 4},
+		}
+		m := 2 * runtime.GOMAXPROCS(0)
+		tbl, cells := harness.Fig4Precision(sc, specs, m, []float64{0.5})
+		if i == 0 {
+			tbl.Render(os.Stdout)
+			for _, spec := range specs {
+				cell := cells[spec.Name]
+				if len(cell.Results) > 0 {
+					r := cell.Results[0]
+					fmt.Printf("%-10s failedCAS=%-6d dropped=%-6d staleness(mean)=%.2f\n",
+						spec.Name, r.FailedCAS, r.DroppedUpdates, r.Staleness.Mean())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+
+	"leashedsgd/internal/harness"
+)
+
+func TestParseThreads(t *testing.T) {
+	got, err := parseThreads("1,2, 8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseThreads = %v", got)
+	}
+	for _, bad := range []string{"", "0", "-2", "a", "1,,2"} {
+		if _, err := parseThreads(bad); err == nil {
+			t.Errorf("parseThreads(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseArch(t *testing.T) {
+	cases := map[string]harness.Arch{
+		"mlp":       harness.SmallMLP,
+		"cnn":       harness.SmallCNN,
+		"paper-mlp": harness.PaperMLP,
+		"paper-cnn": harness.PaperCNN,
+	}
+	for s, want := range cases {
+		got, err := parseArch(s)
+		if err != nil || got != want {
+			t.Errorf("parseArch(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseArch("resnet"); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}
+
+func TestDefaultThreadsShape(t *testing.T) {
+	threads := defaultThreads()
+	if len(threads) == 0 || threads[0] != 1 {
+		t.Fatalf("defaultThreads = %v", threads)
+	}
+	for i := 1; i < len(threads); i++ {
+		if threads[i] != threads[i-1]*2 && i != 1 {
+			t.Fatalf("thread ladder not doubling: %v", threads)
+		}
+		if threads[i] <= threads[i-1] {
+			t.Fatalf("thread ladder not increasing: %v", threads)
+		}
+	}
+}
+
+func TestMid(t *testing.T) {
+	if mid([]int{1, 2, 4}) != 2 {
+		t.Fatal("mid of 3")
+	}
+	if mid([]int{1, 2, 4, 8}) != 4 {
+		t.Fatal("mid of 4")
+	}
+	if mid([]int{7}) != 7 {
+		t.Fatal("mid of 1")
+	}
+}

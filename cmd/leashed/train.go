@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"leashedsgd"
+)
+
+// runTrain implements `leashed train`: one training run with explicit
+// hyper-parameters, optional JSON result output and checkpoint saving —
+// the single-run counterpart to the experiment steps.
+func runTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	algoName := fs.String("algo", "LSH", "SEQ, SYNC, ASYNC, HOG, LSH, LSH-adaptive")
+	arch := fs.String("arch", "mlp", "mlp, cnn, paper-mlp, paper-cnn")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker count m")
+	eta := fs.Float64("eta", 0.05, "step size")
+	batch := fs.Int("batch", 16, "mini-batch size")
+	persistence := fs.Int("persistence", leashedsgd.PersistenceInf, "LSH persistence bound Tp (-1 = inf)")
+	epsilon := fs.Float64("epsilon", 0.25, "convergence target as fraction of initial loss (0 = run to budget)")
+	budget := fs.Duration("budget", 60*time.Second, "time budget")
+	samples := fs.Int("samples", 1024, "dataset size")
+	seed := fs.Uint64("seed", 1, "seed")
+	momentum := fs.Float64("momentum", 0, "heavy-ball momentum (extension)")
+	tauBeta := fs.Float64("tau-beta", 0, "staleness-adaptive step-size beta (extension)")
+	mnistDir := fs.String("mnist", "", "real MNIST IDX directory (optional)")
+	ckpt := fs.String("ckpt", "", "save trained model checkpoint to this path")
+	jsonOut := fs.Bool("json", false, "emit the result summary as JSON")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	var algo leashedsgd.Algorithm
+	switch *algoName {
+	case "SEQ":
+		algo = leashedsgd.Seq
+	case "SYNC":
+		algo = leashedsgd.Sync
+	case "ASYNC":
+		algo = leashedsgd.Async
+	case "HOG":
+		algo = leashedsgd.Hogwild
+	case "LSH":
+		algo = leashedsgd.Leashed
+	case "LSH-adaptive":
+		algo = leashedsgd.LeashedAdaptive
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algoName)
+		os.Exit(2)
+	}
+
+	var model *leashedsgd.Model
+	switch *arch {
+	case "mlp":
+		model = leashedsgd.SmallMLP(28*28, 10)
+	case "cnn":
+		model = leashedsgd.SmallCNN()
+	case "paper-mlp":
+		model = leashedsgd.PaperMLP()
+	case "paper-cnn":
+		model = leashedsgd.PaperCNN()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown arch %q\n", *arch)
+		os.Exit(2)
+	}
+
+	ds, real := leashedsgd.LoadOrSynthesizeMNIST(*mnistDir, *samples, *seed)
+	res, err := leashedsgd.Train(leashedsgd.Config{
+		Algo:            algo,
+		Workers:         *workers,
+		Eta:             *eta,
+		BatchSize:       *batch,
+		Persistence:     *persistence,
+		EpsilonFrac:     *epsilon,
+		MaxTime:         *budget,
+		Seed:            *seed,
+		Momentum:        *momentum,
+		TauAdaptiveBeta: *tauBeta,
+	}, model, ds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *ckpt != "" {
+		if err := leashedsgd.SaveCheckpoint(*ckpt, model, res); err != nil {
+			fmt.Fprintln(os.Stderr, "checkpoint:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		out := map[string]any{
+			"algo":              algo.String(),
+			"arch":              model.Arch(),
+			"workers":           *workers,
+			"real_mnist":        real,
+			"outcome":           res.Outcome.String(),
+			"initial_loss":      res.InitialLoss,
+			"final_loss":        res.FinalLoss,
+			"time_to_target_s":  res.TimeToTarget.Seconds(),
+			"updates_to_target": res.UpdatesToTarget,
+			"total_updates":     res.TotalUpdates,
+			"ms_per_update":     float64(res.TimePerUpdate()) / float64(time.Millisecond),
+			"staleness_mean":    res.Staleness.Mean(),
+			"staleness_max":     res.Staleness.Max(),
+			"failed_cas":        res.FailedCAS,
+			"dropped_updates":   res.DroppedUpdates,
+			"peak_live_vectors": res.PeakLiveVectors,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%s on %s (m=%d): %s\n", algo, model.Arch(), *workers, res.Outcome)
+	fmt.Printf("loss %.4f -> %.4f", res.InitialLoss, res.FinalLoss)
+	if res.Outcome == leashedsgd.Converged && *epsilon > 0 {
+		fmt.Printf(" in %v (%d updates)", res.TimeToTarget.Round(time.Millisecond), res.UpdatesToTarget)
+	}
+	fmt.Printf("\nstaleness mean %.2f max %d; %.3f ms/update\n",
+		res.Staleness.Mean(), res.Staleness.Max(),
+		float64(res.TimePerUpdate())/float64(time.Millisecond))
+	if *ckpt != "" {
+		fmt.Printf("checkpoint written to %s\n", *ckpt)
+	}
+}

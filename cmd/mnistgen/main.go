@@ -1,0 +1,62 @@
+// Command mnistgen writes a synthetic MNIST-shaped dataset to disk in the
+// IDX format (train-images-idx3-ubyte / train-labels-idx1-ubyte), so that
+// tools expecting real MNIST files — including this repository's own
+// -mnist flags — can be pointed at a reproducible offline stand-in.
+//
+// Usage:
+//
+//	mnistgen -out DIR [-n 60000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"leashedsgd/internal/data"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	n := flag.Int("n", 60000, "number of samples")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	ds := data.GenerateSynthetic(data.DefaultSyntheticConfig(*n, *seed))
+	imgPath := filepath.Join(*out, "train-images-idx3-ubyte")
+	lblPath := filepath.Join(*out, "train-labels-idx1-ubyte")
+
+	imgF, err := os.Create(imgPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := data.WriteIDXImages(imgF, ds.X, ds.H, ds.W); err != nil {
+		log.Fatal(err)
+	}
+	if err := imgF.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	lblF, err := os.Create(lblPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := data.WriteIDXLabels(lblF, ds.Y); err != nil {
+		log.Fatal(err)
+	}
+	if err := lblF.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("wrote %d samples (%dx%d, %d classes) to\n  %s\n  %s\n",
+		ds.Len(), ds.H, ds.W, ds.Classes, imgPath, lblPath)
+}

@@ -1,0 +1,77 @@
+// Command quickstart is the smallest end-to-end use of the library: train
+// the laptop-scale MLP with Leashed-SGD and print the convergence summary.
+//
+// Usage:
+//
+//	go run ./examples/quickstart [-workers N] [-algo LSH|ASYNC|HOG|SEQ]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"leashedsgd"
+)
+
+func main() {
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "number of SGD worker goroutines (m)")
+	algoName := flag.String("algo", "LSH", "algorithm: SEQ, ASYNC, HOG, LSH")
+	persistence := flag.Int("persistence", leashedsgd.PersistenceInf, "LSH persistence bound Tp (-1 = infinite)")
+	eta := flag.Float64("eta", 0.05, "step size")
+	flag.Parse()
+
+	var algo leashedsgd.Algorithm
+	switch *algoName {
+	case "SEQ":
+		algo = leashedsgd.Seq
+	case "ASYNC":
+		algo = leashedsgd.Async
+	case "HOG":
+		algo = leashedsgd.Hogwild
+	case "LSH":
+		algo = leashedsgd.Leashed
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algoName)
+		os.Exit(2)
+	}
+
+	model := leashedsgd.SmallMLP(28*28, 10)
+	ds := leashedsgd.SyntheticMNIST(1024, 1)
+	fmt.Printf("model: %s\ndataset: %d samples of %dx%d, %d classes\n",
+		model.Arch(), ds.Len(), ds.H, ds.W, ds.Classes)
+
+	cfg := leashedsgd.Config{
+		Algo:        algo,
+		Workers:     *workers,
+		Eta:         *eta,
+		BatchSize:   16,
+		Persistence: *persistence,
+		EpsilonFrac: 0.25, // stop at 25% of the initial loss
+		MaxTime:     60 * time.Second,
+		Seed:        1,
+	}
+	fmt.Printf("training with %s, m=%d, eta=%g ...\n", algo, cfg.Workers, cfg.Eta)
+	res, err := leashedsgd.Train(cfg, model, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\noutcome:        %s\n", res.Outcome)
+	fmt.Printf("loss:           %.4f -> %.4f (target %.4f)\n", res.InitialLoss, res.FinalLoss, res.TargetLoss)
+	if res.Outcome == leashedsgd.Converged {
+		fmt.Printf("time to eps:    %v\n", res.TimeToTarget.Round(time.Millisecond))
+		fmt.Printf("updates to eps: %d\n", res.UpdatesToTarget)
+	}
+	fmt.Printf("total updates:  %d (%.3f ms/update)\n", res.TotalUpdates,
+		float64(res.TimePerUpdate())/float64(time.Millisecond))
+	fmt.Printf("staleness:      mean %.2f, max %d\n", res.Staleness.Mean(), res.Staleness.Max())
+	if algo == leashedsgd.Leashed {
+		fmt.Printf("contention:     %d failed CAS, %d dropped gradients\n", res.FailedCAS, res.DroppedUpdates)
+		fmt.Printf("memory:         peak %d ParameterVector buffers (%d allocs, %d reuses)\n",
+			res.PeakLiveVectors, res.BufferAllocs, res.BufferReuses)
+	}
+}

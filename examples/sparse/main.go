@@ -1,0 +1,66 @@
+// Command sparse demonstrates HOGWILD!'s original home turf — smooth convex
+// objectives with sparse gradients (the regime the paper's introduction
+// contrasts with dense DL training). It trains sparse logistic regression
+// with planted ground truth under sequential, locked, and HOGWILD!-style
+// component-atomic SGD, and reports collision rates: with sparse gradients
+// the uncoordinated updates almost never touch the same coordinate, which
+// is why HOGWILD! wins here while dense DL exposes its inconsistency.
+//
+// Usage:
+//
+//	go run ./examples/sparse [-dim 5000] [-nnz 10] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+	"time"
+
+	"leashedsgd/internal/sparse"
+)
+
+func main() {
+	dim := flag.Int("dim", 5000, "feature dimension")
+	nnz := flag.Int("nnz", 10, "non-zeros per example")
+	n := flag.Int("n", 4000, "examples")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "workers")
+	updates := flag.Int64("updates", 100000, "update budget")
+	flag.Parse()
+
+	ds := sparse.Generate(sparse.GenConfig{N: *n, Dim: *dim, NNZ: *nnz, Seed: 1, Noise: 0.02})
+	zero := make([]float64, ds.Dim)
+	fmt.Printf("sparse logistic regression: %d examples, dim %d, nnz %d\n", *n, *dim, *nnz)
+	fmt.Printf("loss at zero weights: %.4f (ln 2 = %.4f); at planted truth: %.4f\n\n",
+		sparse.Loss(zero, ds), math.Ln2, sparse.Loss(ds.Truth, ds))
+
+	run := func(name string, mode sparse.Mode, m int) {
+		start := time.Now()
+		res, err := sparse.Train(sparse.TrainConfig{
+			Mode: mode, Workers: m, Eta: 0.1, Updates: *updates, Seed: 2,
+		}, ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		line := fmt.Sprintf("%-8s m=%-3d final loss %.4f in %-10v (%d updates)",
+			name, m, res.FinalLoss, elapsed.Round(time.Millisecond), res.Updates)
+		if mode == sparse.ModeHogwild {
+			writes := res.Updates * int64(*nnz)
+			line += fmt.Sprintf("  CAS collisions: %d of %d component writes (%.4f%%)",
+				res.Collisions, writes, 100*float64(res.Collisions)/float64(writes))
+		}
+		fmt.Println(line)
+	}
+
+	run("SEQ", sparse.ModeSeq, 1)
+	run("LOCKED", sparse.ModeLocked, *workers)
+	run("HOGWILD", sparse.ModeHogwild, *workers)
+
+	fmt.Println("\nWith sparse gradients the HOGWILD! collision rate is near zero — the")
+	fmt.Println("regime where synchronization-free SGD is effectively consistent for free.")
+	fmt.Println("Dense DL gradients (examples/mlp) are the opposite regime, which is what")
+	fmt.Println("motivates Leashed-SGD's consistency-preserving lock-free design.")
+}

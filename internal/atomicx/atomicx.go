@@ -1,0 +1,121 @@
+// Package atomicx supplies the atomic primitives the paper's system model
+// assumes (Sec. II-2: single-word read, write, CAS, FAA) for types Go's
+// sync/atomic does not cover directly — most importantly float64.
+//
+// Go has no atomic float operations, so every float primitive here is a
+// compare-and-swap loop over the value's IEEE-754 bit pattern. This is the
+// standard workaround and is what makes the HOGWILD! baseline race-detector
+// clean while preserving the vector-level inconsistency the paper studies:
+// individual components are updated atomically, but the vector as a whole is
+// not protected.
+package atomicx
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Float64 is a float64 that can be loaded, stored, added-to and CAS'd
+// atomically. The zero value is 0.0 and ready to use.
+type Float64 struct {
+	bits atomic.Uint64
+}
+
+// Load atomically returns the current value.
+func (f *Float64) Load() float64 {
+	return math.Float64frombits(f.bits.Load())
+}
+
+// Store atomically replaces the value with v.
+func (f *Float64) Store(v float64) {
+	f.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds delta and returns the new value. It is a CAS retry
+// loop; under contention some iterations retry, but each successful Add is
+// applied exactly once (no lost updates at component granularity).
+func (f *Float64) Add(delta float64) float64 {
+	for {
+		oldBits := f.bits.Load()
+		newVal := math.Float64frombits(oldBits) + delta
+		if f.bits.CompareAndSwap(oldBits, math.Float64bits(newVal)) {
+			return newVal
+		}
+	}
+}
+
+// CompareAndSwap executes the CAS operation on the float value. Note that
+// the comparison is on bit patterns: NaN never compares equal to itself
+// through this function only if the bit patterns match exactly.
+func (f *Float64) CompareAndSwap(old, new float64) bool {
+	return f.bits.CompareAndSwap(math.Float64bits(old), math.Float64bits(new))
+}
+
+// AddFloat64 atomically adds delta to the float64 whose bits live at addr.
+// This is the component-wise primitive HOGWILD!-style updates use on a
+// shared []uint64 parameter array.
+func AddFloat64(addr *uint64, delta float64) float64 {
+	for {
+		oldBits := atomic.LoadUint64(addr)
+		newVal := math.Float64frombits(oldBits) + delta
+		if atomic.CompareAndSwapUint64(addr, oldBits, math.Float64bits(newVal)) {
+			return newVal
+		}
+	}
+}
+
+// LoadFloat64 atomically loads the float64 stored at addr.
+func LoadFloat64(addr *uint64) float64 {
+	return math.Float64frombits(atomic.LoadUint64(addr))
+}
+
+// StoreFloat64 atomically stores v at addr.
+func StoreFloat64(addr *uint64, v float64) {
+	atomic.StoreUint64(addr, math.Float64bits(v))
+}
+
+// cacheLineSize is the assumed size of a cache line. 64 bytes is correct for
+// all current x86-64 and most ARM parts; over-padding is harmless.
+const cacheLineSize = 64
+
+// PaddedInt64 is an atomic int64 padded to its own cache line so that arrays
+// of per-thread counters (e.g. per-worker iteration counts, the n_rdrs-style
+// gauges used by the metrics) do not false-share.
+type PaddedInt64 struct {
+	atomic.Int64
+	_ [cacheLineSize - 8]byte
+}
+
+// Counter is a striped counter: adds go to a per-slot padded cell chosen by
+// the caller (typically the worker id), reads sum all cells. It trades read
+// cost for write scalability — the access pattern of the paper's
+// throughput/staleness instrumentation, which must not itself become the
+// contention bottleneck being measured.
+type Counter struct {
+	cells []PaddedInt64
+}
+
+// NewCounter returns a Counter with n stripes. n is typically the worker
+// count; it must be at least 1.
+func NewCounter(n int) *Counter {
+	if n < 1 {
+		n = 1
+	}
+	return &Counter{cells: make([]PaddedInt64, n)}
+}
+
+// Add adds delta to stripe slot (mod the stripe count).
+func (c *Counter) Add(slot int, delta int64) {
+	c.cells[slot%len(c.cells)].Add(delta)
+}
+
+// Sum returns the sum over all stripes. It is linearizable only when writers
+// are quiescent; during concurrent writes it is a consistent snapshot in the
+// "eventually accurate gauge" sense, which is all the instrumentation needs.
+func (c *Counter) Sum() int64 {
+	var s int64
+	for i := range c.cells {
+		s += c.cells[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,200 @@
+package atomicx
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat64LoadStore(t *testing.T) {
+	var f Float64
+	if got := f.Load(); got != 0 {
+		t.Fatalf("zero value = %v, want 0", got)
+	}
+	for _, v := range []float64{1.5, -3.25, 0, math.Inf(1), math.SmallestNonzeroFloat64} {
+		f.Store(v)
+		if got := f.Load(); got != v {
+			t.Errorf("Load after Store(%v) = %v", v, got)
+		}
+	}
+	f.Store(math.NaN())
+	if got := f.Load(); !math.IsNaN(got) {
+		t.Errorf("Load after Store(NaN) = %v, want NaN", got)
+	}
+}
+
+func TestFloat64AddSequential(t *testing.T) {
+	var f Float64
+	f.Store(10)
+	if got := f.Add(2.5); got != 12.5 {
+		t.Fatalf("Add returned %v, want 12.5", got)
+	}
+	if got := f.Load(); got != 12.5 {
+		t.Fatalf("Load = %v, want 12.5", got)
+	}
+}
+
+// TestFloat64AddConcurrent checks the no-lost-update guarantee: the CAS loop
+// must apply every delta exactly once.
+func TestFloat64AddConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 5000
+	var f Float64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				f.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := f.Load(); got != workers*perWorker {
+		t.Fatalf("after concurrent adds: %v, want %d", got, workers*perWorker)
+	}
+}
+
+func TestFloat64CompareAndSwap(t *testing.T) {
+	var f Float64
+	f.Store(1.0)
+	if !f.CompareAndSwap(1.0, 2.0) {
+		t.Fatal("CAS(1,2) failed on value 1")
+	}
+	if f.CompareAndSwap(1.0, 3.0) {
+		t.Fatal("CAS(1,3) succeeded on value 2")
+	}
+	if got := f.Load(); got != 2.0 {
+		t.Fatalf("value = %v, want 2", got)
+	}
+}
+
+func TestAddFloat64OnWord(t *testing.T) {
+	var word uint64
+	StoreFloat64(&word, 4.0)
+	if got := AddFloat64(&word, -1.5); got != 2.5 {
+		t.Fatalf("AddFloat64 returned %v, want 2.5", got)
+	}
+	if got := LoadFloat64(&word); got != 2.5 {
+		t.Fatalf("LoadFloat64 = %v, want 2.5", got)
+	}
+}
+
+func TestAddFloat64Concurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 4000
+	words := make([]uint64, 4)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				AddFloat64(&words[i%len(words)], 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for i := range words {
+		total += LoadFloat64(&words[i])
+	}
+	if want := float64(workers*perWorker) * 0.5; total != want {
+		t.Fatalf("total = %v, want %v", total, want)
+	}
+}
+
+// Property: Store followed by Load round-trips any non-NaN float exactly.
+func TestFloat64RoundTripProperty(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true // NaN payloads round-trip at the bit level; skip value comparison
+		}
+		var a Float64
+		a.Store(v)
+		return a.Load() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a sequence of sequential Adds equals the plain float sum.
+func TestFloat64AddMatchesPlainSum(t *testing.T) {
+	f := func(vals []float64) bool {
+		var a Float64
+		var plain float64
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			a.Add(v)
+			plain += v
+		}
+		got := a.Load()
+		return got == plain || math.Abs(got-plain) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterStripes(t *testing.T) {
+	c := NewCounter(4)
+	c.Add(0, 5)
+	c.Add(1, 7)
+	c.Add(9, 1) // wraps to stripe 1
+	if got := c.Sum(); got != 13 {
+		t.Fatalf("Sum = %d, want 13", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 10000
+	c := NewCounter(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(w, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Sum(); got != workers*perWorker {
+		t.Fatalf("Sum = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestCounterMinimumStripes(t *testing.T) {
+	c := NewCounter(0)
+	c.Add(3, 2)
+	if got := c.Sum(); got != 2 {
+		t.Fatalf("Sum = %d, want 2", got)
+	}
+}
+
+func BenchmarkFloat64Add(b *testing.B) {
+	var f Float64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			f.Add(1.0)
+		}
+	})
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewCounter(16)
+	b.RunParallel(func(pb *testing.PB) {
+		slot := 0
+		for pb.Next() {
+			c.Add(slot, 1)
+			slot++
+		}
+	})
+}

@@ -1,0 +1,136 @@
+// Package checkpoint persists trained parameter vectors to disk and loads
+// them back, with integrity checking — the piece a downstream user needs to
+// keep models trained by the library.
+//
+// Format (little-endian):
+//
+//	magic   [8]byte  "LSHSGD\x00\x01"
+//	dlen    uint32   length of the JSON metadata blob
+//	meta    []byte   JSON: architecture string, dimension, training info
+//	params  [d]float64
+//	crc     uint32   IEEE CRC-32 of everything above
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"time"
+)
+
+var magic = [8]byte{'L', 'S', 'H', 'S', 'G', 'D', 0, 1}
+
+// Meta describes the checkpointed model.
+type Meta struct {
+	Arch      string    `json:"arch"`
+	Dim       int       `json:"dim"`
+	Algo      string    `json:"algo,omitempty"`
+	FinalLoss float64   `json:"final_loss,omitempty"`
+	Updates   int64     `json:"updates,omitempty"`
+	SavedAt   time.Time `json:"saved_at"`
+}
+
+// Write serializes the checkpoint to w.
+func Write(w io.Writer, meta Meta, params []float64) error {
+	if meta.Dim == 0 {
+		meta.Dim = len(params)
+	}
+	if meta.Dim != len(params) {
+		return fmt.Errorf("checkpoint: meta.Dim %d != len(params) %d", meta.Dim, len(params))
+	}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encoding meta: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(len(metaJSON))); err != nil {
+		return err
+	}
+	buf.Write(metaJSON)
+	bits := make([]byte, 8)
+	for _, v := range params {
+		binary.LittleEndian.PutUint64(bits, math.Float64bits(v))
+		buf.Write(bits)
+	}
+	crc := crc32.ChecksumIEEE(buf.Bytes())
+	if err := binary.Write(&buf, binary.LittleEndian, crc); err != nil {
+		return err
+	}
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// Read parses a checkpoint from r, verifying magic and CRC.
+func Read(r io.Reader) (Meta, []float64, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("checkpoint: reading: %w", err)
+	}
+	if len(raw) < len(magic)+4+4 {
+		return Meta{}, nil, fmt.Errorf("checkpoint: truncated (%d bytes)", len(raw))
+	}
+	if !bytes.Equal(raw[:8], magic[:]) {
+		return Meta{}, nil, fmt.Errorf("checkpoint: bad magic %q", raw[:8])
+	}
+	body, crcBytes := raw[:len(raw)-4], raw[len(raw)-4:]
+	wantCRC := binary.LittleEndian.Uint32(crcBytes)
+	if got := crc32.ChecksumIEEE(body); got != wantCRC {
+		return Meta{}, nil, fmt.Errorf("checkpoint: CRC mismatch (file corrupt): %08x != %08x", got, wantCRC)
+	}
+	metaLen := int(binary.LittleEndian.Uint32(raw[8:12]))
+	if 12+metaLen > len(body) {
+		return Meta{}, nil, fmt.Errorf("checkpoint: meta length %d exceeds file", metaLen)
+	}
+	var meta Meta
+	if err := json.Unmarshal(raw[12:12+metaLen], &meta); err != nil {
+		return Meta{}, nil, fmt.Errorf("checkpoint: decoding meta: %w", err)
+	}
+	paramBytes := body[12+metaLen:]
+	if len(paramBytes)%8 != 0 {
+		return Meta{}, nil, fmt.Errorf("checkpoint: parameter section not 8-byte aligned")
+	}
+	d := len(paramBytes) / 8
+	if meta.Dim != d {
+		return Meta{}, nil, fmt.Errorf("checkpoint: meta.Dim %d != stored %d parameters", meta.Dim, d)
+	}
+	params := make([]float64, d)
+	for i := range params {
+		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(paramBytes[i*8:]))
+	}
+	return meta, params, nil
+}
+
+// Save writes the checkpoint to path atomically (temp file + rename).
+func Save(path string, meta Meta, params []float64) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, meta, params); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads the checkpoint at path.
+func Load(path string) (Meta, []float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,118 @@
+package data
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"leashedsgd/internal/rng"
+)
+
+// Dataset is an in-memory supervised image classification dataset: X[i] is a
+// flattened image in [0,1], Y[i] its class in [0, Classes).
+type Dataset struct {
+	X       [][]float64
+	Y       []int
+	H, W    int
+	Classes int
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Dim returns the flattened input dimension (H*W).
+func (d *Dataset) Dim() int { return d.H * d.W }
+
+// Validate checks internal consistency and returns a descriptive error for
+// the first violation found.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("data: %d inputs but %d labels", len(d.X), len(d.Y))
+	}
+	if d.Classes < 2 {
+		return fmt.Errorf("data: need >=2 classes, have %d", d.Classes)
+	}
+	want := d.H * d.W
+	for i, x := range d.X {
+		if len(x) != want {
+			return fmt.Errorf("data: sample %d has %d pixels, want %d", i, len(x), want)
+		}
+	}
+	for i, y := range d.Y {
+		if y < 0 || y >= d.Classes {
+			return fmt.Errorf("data: label %d = %d out of range [0,%d)", i, y, d.Classes)
+		}
+	}
+	return nil
+}
+
+// Split partitions the dataset into a training prefix of n samples and a
+// test remainder (no shuffling; generated datasets are already shuffled).
+func (d *Dataset) Split(n int) (train, test *Dataset) {
+	if n > d.Len() {
+		n = d.Len()
+	}
+	train = &Dataset{X: d.X[:n], Y: d.Y[:n], H: d.H, W: d.W, Classes: d.Classes}
+	test = &Dataset{X: d.X[n:], Y: d.Y[n:], H: d.H, W: d.W, Classes: d.Classes}
+	return train, test
+}
+
+// Batch is a view of sample indices a worker trains on for one SGD step.
+type Batch struct {
+	Indices []int
+}
+
+// Sampler draws mini-batches uniformly at random with replacement, matching
+// the paper's "input is selected at random" per iteration. Each worker owns a
+// Sampler (private RNG stream) so sampling never synchronizes workers.
+type Sampler struct {
+	n   int
+	rnd *rng.Rand
+	buf []int
+}
+
+// NewSampler returns a sampler over n samples for the given worker stream.
+func NewSampler(n, batchSize int, seed uint64, worker int) *Sampler {
+	return &Sampler{n: n, rnd: rng.NewStream(seed, worker), buf: make([]int, batchSize)}
+}
+
+// Next fills and returns the next mini-batch. The returned Batch aliases
+// internal storage and is valid until the following call.
+func (s *Sampler) Next() Batch {
+	for i := range s.buf {
+		s.buf[i] = s.rnd.Intn(s.n)
+	}
+	return Batch{Indices: s.buf}
+}
+
+// LoadMNISTDir loads real MNIST IDX files (train-images-idx3-ubyte,
+// train-labels-idx1-ubyte) from dir if they exist. It returns os.ErrNotExist
+// wrapped when the files are missing, which callers treat as "fall back to
+// the synthetic generator".
+func LoadMNISTDir(dir string) (*Dataset, error) {
+	imgPath := filepath.Join(dir, "train-images-idx3-ubyte")
+	lblPath := filepath.Join(dir, "train-labels-idx1-ubyte")
+	imgF, err := os.Open(imgPath)
+	if err != nil {
+		return nil, fmt.Errorf("data: MNIST images: %w", err)
+	}
+	defer imgF.Close()
+	lblF, err := os.Open(lblPath)
+	if err != nil {
+		return nil, fmt.Errorf("data: MNIST labels: %w", err)
+	}
+	defer lblF.Close()
+	images, h, w, err := ReadIDXImages(imgF)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := ReadIDXLabels(lblF)
+	if err != nil {
+		return nil, err
+	}
+	if len(images) != len(labels) {
+		return nil, fmt.Errorf("data: %d images vs %d labels", len(images), len(labels))
+	}
+	ds := &Dataset{X: images, Y: labels, H: h, W: w, Classes: 10}
+	return ds, ds.Validate()
+}

@@ -1,0 +1,127 @@
+// Package data provides the dataset substrate for the experiments: the IDX
+// binary format MNIST ships in, a synthetic MNIST-like generator used when
+// the real files are unavailable (this repository is built offline — see
+// DESIGN.md §4 for why the substitution preserves the evaluation), and
+// mini-batch sampling.
+package data
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// IDX magic type codes (third byte of the magic number).
+const (
+	idxTypeUint8 = 0x08
+)
+
+// WriteIDXImages writes images as an IDX3 uint8 tensor (count, h, w),
+// the exact format of train-images-idx3-ubyte. Pixels must be in [0,1] and
+// are quantized to bytes.
+func WriteIDXImages(w io.Writer, images [][]float64, h, wid int) error {
+	if err := binary.Write(w, binary.BigEndian, []byte{0, 0, idxTypeUint8, 3}); err != nil {
+		return err
+	}
+	dims := []uint32{uint32(len(images)), uint32(h), uint32(wid)}
+	if err := binary.Write(w, binary.BigEndian, dims); err != nil {
+		return err
+	}
+	buf := make([]byte, h*wid)
+	for i, img := range images {
+		if len(img) != h*wid {
+			return fmt.Errorf("data: image %d has %d pixels, want %d", i, len(img), h*wid)
+		}
+		for j, p := range img {
+			switch {
+			case p <= 0:
+				buf[j] = 0
+			case p >= 1:
+				buf[j] = 255
+			default:
+				buf[j] = byte(p*255 + 0.5)
+			}
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteIDXLabels writes labels as an IDX1 uint8 vector, the format of
+// train-labels-idx1-ubyte.
+func WriteIDXLabels(w io.Writer, labels []int) error {
+	if err := binary.Write(w, binary.BigEndian, []byte{0, 0, idxTypeUint8, 1}); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint32(len(labels))); err != nil {
+		return err
+	}
+	buf := make([]byte, len(labels))
+	for i, l := range labels {
+		if l < 0 || l > 255 {
+			return fmt.Errorf("data: label %d out of byte range", l)
+		}
+		buf[i] = byte(l)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadIDXImages parses an IDX3 uint8 image tensor, returning the images as
+// float64 pixel slices scaled to [0,1] plus the image height and width.
+func ReadIDXImages(r io.Reader) (images [][]float64, h, w int, err error) {
+	var magic [4]byte
+	if _, err = io.ReadFull(r, magic[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("data: reading IDX magic: %w", err)
+	}
+	if magic[0] != 0 || magic[1] != 0 || magic[2] != idxTypeUint8 || magic[3] != 3 {
+		return nil, 0, 0, fmt.Errorf("data: bad IDX3 magic %v", magic)
+	}
+	var dims [3]uint32
+	if err = binary.Read(r, binary.BigEndian, &dims); err != nil {
+		return nil, 0, 0, fmt.Errorf("data: reading IDX dims: %w", err)
+	}
+	count, hh, ww := int(dims[0]), int(dims[1]), int(dims[2])
+	if hh <= 0 || ww <= 0 || count < 0 || hh*ww > 1<<20 {
+		return nil, 0, 0, fmt.Errorf("data: implausible IDX dims %dx%dx%d", count, hh, ww)
+	}
+	images = make([][]float64, count)
+	buf := make([]byte, hh*ww)
+	for i := 0; i < count; i++ {
+		if _, err = io.ReadFull(r, buf); err != nil {
+			return nil, 0, 0, fmt.Errorf("data: reading image %d: %w", i, err)
+		}
+		img := make([]float64, hh*ww)
+		for j, b := range buf {
+			img[j] = float64(b) / 255
+		}
+		images[i] = img
+	}
+	return images, hh, ww, nil
+}
+
+// ReadIDXLabels parses an IDX1 uint8 label vector.
+func ReadIDXLabels(r io.Reader) ([]int, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("data: reading IDX magic: %w", err)
+	}
+	if magic[0] != 0 || magic[1] != 0 || magic[2] != idxTypeUint8 || magic[3] != 1 {
+		return nil, fmt.Errorf("data: bad IDX1 magic %v", magic)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.BigEndian, &count); err != nil {
+		return nil, fmt.Errorf("data: reading IDX count: %w", err)
+	}
+	buf := make([]byte, count)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("data: reading labels: %w", err)
+	}
+	labels := make([]int, count)
+	for i, b := range buf {
+		labels[i] = int(b)
+	}
+	return labels, nil
+}

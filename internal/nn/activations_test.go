@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"leashedsgd/internal/rng"
+)
+
+func TestSigmoidForward(t *testing.T) {
+	s := NewSigmoid(3)
+	out := make([]float64, 3)
+	s.Forward(nil, []float64{0, 100, -100}, out, nil)
+	if math.Abs(out[0]-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %v", out[0])
+	}
+	if out[1] < 0.999 || out[2] > 0.001 {
+		t.Fatalf("saturation: %v", out)
+	}
+}
+
+func TestSigmoidGradCheck(t *testing.T) {
+	n := MustNetwork(NewDense(5, 4), NewSigmoid(4), NewDense(4, 3))
+	numGradCheck(t, n, 101, 40, 1e-4)
+}
+
+func TestTanhForward(t *testing.T) {
+	l := NewTanh(2)
+	out := make([]float64, 2)
+	l.Forward(nil, []float64{0, 1}, out, nil)
+	if out[0] != 0 || math.Abs(out[1]-math.Tanh(1)) > 1e-12 {
+		t.Fatalf("tanh forward = %v", out)
+	}
+}
+
+func TestTanhGradCheck(t *testing.T) {
+	n := MustNetwork(NewDense(4, 6), NewTanh(6), NewDense(6, 2))
+	numGradCheck(t, n, 102, 40, 1e-4)
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout(4, 0.5)
+	d.Eval = true
+	in := []float64{1, 2, 3, 4}
+	out := make([]float64, 4)
+	d.Forward(nil, in, out, d.NewScratch())
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("eval dropout modified input: %v", out)
+		}
+	}
+}
+
+func TestDropoutMaskAndScale(t *testing.T) {
+	d := NewDropout(1000, 0.3)
+	s := d.NewScratch()
+	in := make([]float64, 1000)
+	for i := range in {
+		in[i] = 1
+	}
+	out := make([]float64, 1000)
+	d.Forward(nil, in, out, s)
+	zeros, scaled := 0, 0
+	want := 1 / (1 - 0.3)
+	for _, v := range out {
+		switch {
+		case v == 0:
+			zeros++
+		case math.Abs(v-want) < 1e-12:
+			scaled++
+		default:
+			t.Fatalf("unexpected output value %v", v)
+		}
+	}
+	if zeros+scaled != 1000 {
+		t.Fatal("output values inconsistent")
+	}
+	if zeros < 200 || zeros > 400 {
+		t.Fatalf("dropout rate off: %d/1000 zeroed at rate 0.3", zeros)
+	}
+}
+
+func TestDropoutBackwardRoutesThroughMask(t *testing.T) {
+	d := NewDropout(500, 0.5)
+	s := d.NewScratch()
+	in := make([]float64, 500)
+	for i := range in {
+		in[i] = 1
+	}
+	out := make([]float64, 500)
+	d.Forward(nil, in, out, s)
+	dOut := make([]float64, 500)
+	for i := range dOut {
+		dOut[i] = 1
+	}
+	dIn := make([]float64, 500)
+	d.Backward(nil, nil, in, out, dOut, dIn, s)
+	for i := range dIn {
+		if (out[i] == 0) != (dIn[i] == 0) {
+			t.Fatalf("gradient mask mismatch at %d: out=%v dIn=%v", i, out[i], dIn[i])
+		}
+	}
+}
+
+func TestDropoutScratchesIndependent(t *testing.T) {
+	d := NewDropout(256, 0.5)
+	s1, s2 := d.NewScratch(), d.NewScratch()
+	in := make([]float64, 256)
+	for i := range in {
+		in[i] = 1
+	}
+	o1 := make([]float64, 256)
+	o2 := make([]float64, 256)
+	d.Forward(nil, in, o1, s1)
+	d.Forward(nil, in, o2, s2)
+	same := 0
+	for i := range o1 {
+		if (o1[i] == 0) == (o2[i] == 0) {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Fatal("two workspaces drew identical dropout masks")
+	}
+}
+
+func TestDropoutValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate=1 accepted")
+		}
+	}()
+	NewDropout(4, 1.0)
+}
+
+func TestNetworkWithDropoutTrains(t *testing.T) {
+	// Dropout in the stack must not break the training loop.
+	n := MustNetwork(NewDense(16, 12), NewReLU(12), NewDropout(12, 0.2), NewDense(12, 3))
+	r := rng.New(7)
+	params := make([]float64, n.ParamCount())
+	n.Init(params, r, 0.3)
+	ws := n.NewWorkspace()
+	xs := make([][]float64, 8)
+	ys := make([]int, 8)
+	for b := range xs {
+		xs[b] = make([]float64, 16)
+		for i := range xs[b] {
+			xs[b][i] = r.Float64()
+		}
+		ys[b] = r.Intn(3)
+	}
+	grad := make([]float64, n.ParamCount())
+	first := n.LossGrad(params, grad, xs, ys, ws)
+	for step := 0; step < 100; step++ {
+		for i := range grad {
+			grad[i] = 0
+		}
+		n.LossGrad(params, grad, xs, ys, ws)
+		for i := range params {
+			params[i] -= 0.1 * grad[i]
+		}
+	}
+	last := n.LossGrad(params, make([]float64, n.ParamCount()), xs, ys, ws)
+	if last >= first {
+		t.Fatalf("dropout network failed to learn: %v -> %v", first, last)
+	}
+}
+
+func TestInitHeVariance(t *testing.T) {
+	n := NewMLP(100, []int{50}, 10)
+	params := make([]float64, n.ParamCount())
+	n.InitHe(params, rng.New(5))
+	// First layer block: fanIn=100 -> sigma = sqrt(0.02) ≈ 0.1414.
+	block := params[:100*50+50]
+	var sum, sumSq float64
+	for _, v := range block {
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(len(block))
+	std := math.Sqrt(sumSq/float64(len(block)) - mean*mean)
+	want := math.Sqrt(2.0 / 100)
+	if math.Abs(std-want) > 0.01 {
+		t.Fatalf("He std = %v, want ~%v", std, want)
+	}
+}

@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"fmt"
+
+	"leashedsgd/internal/tensor"
+)
+
+// Conv2D is a valid (no padding), stride-1 2D convolution over a
+// channel-major (C, H, W) input. The parameter block holds the filter bank
+// as a Filters × (InC·K·K) row-major matrix followed by Filters biases —
+// exactly the layout that lets forward/backward run as GEMMs over an im2col
+// lowering. Output shape is (Filters, H−K+1, W−K+1).
+type Conv2D struct {
+	InC, InH, InW int
+	Filters, K    int
+}
+
+// NewConv2D returns a valid-convolution layer. It panics if the kernel does
+// not fit the input.
+func NewConv2D(inC, inH, inW, filters, k int) *Conv2D {
+	if inC <= 0 || filters <= 0 || k <= 0 || inH < k || inW < k {
+		panic("nn: invalid Conv2D geometry")
+	}
+	return &Conv2D{InC: inC, InH: inH, InW: inW, Filters: filters, K: k}
+}
+
+// OutH returns the output feature-map height.
+func (c *Conv2D) OutH() int { return c.InH - c.K + 1 }
+
+// OutW returns the output feature-map width.
+func (c *Conv2D) OutW() int { return c.InW - c.K + 1 }
+
+func (c *Conv2D) InDim() int  { return c.InC * c.InH * c.InW }
+func (c *Conv2D) OutDim() int { return c.Filters * c.OutH() * c.OutW() }
+func (c *Conv2D) ParamCount() int {
+	return c.Filters*c.InC*c.K*c.K + c.Filters
+}
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%dx%dx%d,k=%d,f=%d)", c.InC, c.InH, c.InW, c.K, c.Filters)
+}
+
+// convScratch holds the im2col lowering and its gradient counterpart.
+type convScratch struct {
+	cols  tensor.Mat // (InC·K·K) × (OutH·OutW)
+	dCols tensor.Mat
+}
+
+func (c *Conv2D) NewScratch() any {
+	rows := c.InC * c.K * c.K
+	cols := c.OutH() * c.OutW()
+	return &convScratch{cols: tensor.NewMat(rows, cols), dCols: tensor.NewMat(rows, cols)}
+}
+
+func (c *Conv2D) filterMat(params []float64) tensor.Mat {
+	n := c.Filters * c.InC * c.K * c.K
+	return tensor.MatFrom(c.Filters, c.InC*c.K*c.K, params[:n])
+}
+
+func (c *Conv2D) biases(params []float64) []float64 {
+	return params[c.Filters*c.InC*c.K*c.K:]
+}
+
+// Forward lowers the input with im2col then computes
+// out = filters · cols + bias (bias broadcast per filter row).
+func (c *Conv2D) Forward(params, in, out []float64, scratch any) {
+	s := scratch.(*convScratch)
+	tensor.Im2Col(s.cols, in, c.InC, c.InH, c.InW, c.K)
+	w := c.filterMat(params)
+	outMat := tensor.MatFrom(c.Filters, c.OutH()*c.OutW(), out)
+	tensor.MatMul(outMat, w, s.cols)
+	b := c.biases(params)
+	for f := 0; f < c.Filters; f++ {
+		row := outMat.Row(f)
+		bias := b[f]
+		for i := range row {
+			row[i] += bias
+		}
+	}
+}
+
+// Backward accumulates dW += dOut·colsᵀ, db += row-sums of dOut, and
+// back-propagates dIn = col2im(Wᵀ·dOut).
+func (c *Conv2D) Backward(params, grad, _, _, dOut, dIn []float64, scratch any) {
+	s := scratch.(*convScratch)
+	dOutMat := tensor.MatFrom(c.Filters, c.OutH()*c.OutW(), dOut)
+	gw := c.filterMat(grad)
+	// dW += dOut · colsᵀ, computed row by row as rank-accumulations so we
+	// never materialize colsᵀ.
+	for f := 0; f < c.Filters; f++ {
+		dRow := dOutMat.Row(f)
+		gRow := gw.Row(f)
+		for j := 0; j < s.cols.Rows; j++ {
+			gRow[j] += tensor.Dot(s.cols.Row(j), dRow)
+		}
+	}
+	gb := c.biases(grad)
+	for f := 0; f < c.Filters; f++ {
+		gb[f] += tensor.Sum(dOutMat.Row(f))
+	}
+	if dIn != nil {
+		w := c.filterMat(params)
+		// dCols = Wᵀ · dOut: row j of dCols is Σ_f W[f,j]·dOut[f,:].
+		s.dCols.Zero()
+		for f := 0; f < c.Filters; f++ {
+			wRow := w.Row(f)
+			dRow := dOutMat.Row(f)
+			for j := 0; j < s.dCols.Rows; j++ {
+				if wRow[j] != 0 {
+					tensor.Axpy(wRow[j], dRow, s.dCols.Row(j))
+				}
+			}
+		}
+		tensor.Fill(dIn, 0)
+		tensor.Col2ImAdd(dIn, s.dCols, c.InC, c.InH, c.InW, c.K)
+	}
+}
+
+// MaxPool2D downsamples each channel of a (C, H, W) input with a
+// non-overlapping Size×Size max window (floor division on the borders, as in
+// the paper's CNN where an 11×11 map pools to 5×5). It owns no parameters.
+type MaxPool2D struct {
+	C, InH, InW, Size int
+}
+
+// NewMaxPool2D returns the pooling layer.
+func NewMaxPool2D(c, inH, inW, size int) *MaxPool2D {
+	if c <= 0 || size <= 0 || inH < size || inW < size {
+		panic("nn: invalid MaxPool2D geometry")
+	}
+	return &MaxPool2D{C: c, InH: inH, InW: inW, Size: size}
+}
+
+// OutH returns the pooled height.
+func (p *MaxPool2D) OutH() int { return p.InH / p.Size }
+
+// OutW returns the pooled width.
+func (p *MaxPool2D) OutW() int { return p.InW / p.Size }
+
+func (p *MaxPool2D) InDim() int      { return p.C * p.InH * p.InW }
+func (p *MaxPool2D) OutDim() int     { return p.C * p.OutH() * p.OutW() }
+func (p *MaxPool2D) ParamCount() int { return 0 }
+func (p *MaxPool2D) Name() string {
+	return fmt.Sprintf("MaxPool(%dx%dx%d,%d)", p.C, p.InH, p.InW, p.Size)
+}
+
+// poolScratch records, per output element, which input index won the max —
+// needed to route the gradient in Backward.
+type poolScratch struct {
+	argmax []int
+}
+
+func (p *MaxPool2D) NewScratch() any {
+	return &poolScratch{argmax: make([]int, p.OutDim())}
+}
+
+func (p *MaxPool2D) Forward(_, in, out []float64, scratch any) {
+	s := scratch.(*poolScratch)
+	outH, outW := p.OutH(), p.OutW()
+	oi := 0
+	for ch := 0; ch < p.C; ch++ {
+		base := ch * p.InH * p.InW
+		for oy := 0; oy < outH; oy++ {
+			for ox := 0; ox < outW; ox++ {
+				bestIdx := base + oy*p.Size*p.InW + ox*p.Size
+				best := in[bestIdx]
+				for dy := 0; dy < p.Size; dy++ {
+					rowBase := base + (oy*p.Size+dy)*p.InW + ox*p.Size
+					for dx := 0; dx < p.Size; dx++ {
+						if v := in[rowBase+dx]; v > best {
+							best, bestIdx = v, rowBase+dx
+						}
+					}
+				}
+				out[oi] = best
+				s.argmax[oi] = bestIdx
+				oi++
+			}
+		}
+	}
+}
+
+func (p *MaxPool2D) Backward(_, _, _, _, dOut, dIn []float64, scratch any) {
+	if dIn == nil {
+		return
+	}
+	s := scratch.(*poolScratch)
+	tensor.Fill(dIn, 0)
+	for oi, ii := range s.argmax {
+		dIn[ii] += dOut[oi]
+	}
+}

@@ -1,0 +1,137 @@
+// Package nn is the deep-learning substrate: dense, convolutional, pooling
+// and activation layers with backpropagation. It fills the role of the
+// paper's MiniDNN fork after the "substantial refactoring" described in
+// Sec. V-1: every learnable parameter of a network lives in ONE flat
+// []float64 — the parameter vector θ — and every layer operates on views
+// into it. Gradients are produced into an equally-shaped flat vector.
+//
+// This flat binding is what lets the SGD algorithms in internal/sgd treat
+// the whole model as a single shared object (the ParameterVector) and is the
+// interface boundary between "DL operations" and "parallel SGD algorithms"
+// that the paper's framework establishes.
+//
+// Layers are immutable descriptors; all mutable per-inference state lives in
+// a Workspace so that any number of workers can evaluate the same Network
+// against the same or different parameter memory concurrently.
+package nn
+
+import (
+	"fmt"
+
+	"leashedsgd/internal/tensor"
+)
+
+// Layer is one stage of a feed-forward network. Implementations are
+// stateless: parameters and gradient accumulators are slices handed in per
+// call (views into the flat θ and ∇θ vectors), activations live in the
+// Workspace.
+type Layer interface {
+	// InDim and OutDim are the flattened input/output sizes.
+	InDim() int
+	OutDim() int
+	// ParamCount is the number of learnable parameters the layer owns in
+	// the flat vector.
+	ParamCount() int
+	// Forward computes out from in using params (len == ParamCount).
+	// scratch is the layer's slot from NewScratch and may be nil for
+	// layers that return nil there.
+	Forward(params, in, out []float64, scratch any)
+	// Backward computes dIn from dOut and accumulates the parameter
+	// gradient into grad (same length as params). in/out are the
+	// activations recorded during the matching Forward call. dIn may be
+	// nil for the first layer (input gradient not needed).
+	Backward(params, grad, in, out, dOut, dIn []float64, scratch any)
+	// NewScratch allocates whatever per-worker temporary storage Forward
+	// and Backward need (im2col buffers, argmax indices); nil if none.
+	NewScratch() any
+	// Name describes the layer for architecture listings.
+	Name() string
+}
+
+// Dense is a fully connected layer: out = W·in + b, with W stored row-major
+// (OutDim × InDim) followed by the bias vector in the parameter block.
+type Dense struct {
+	In, Out int
+}
+
+// NewDense returns a Dense layer with the given fan-in and fan-out.
+func NewDense(in, out int) *Dense {
+	if in <= 0 || out <= 0 {
+		panic("nn: Dense dimensions must be positive")
+	}
+	return &Dense{In: in, Out: out}
+}
+
+func (d *Dense) InDim() int      { return d.In }
+func (d *Dense) OutDim() int     { return d.Out }
+func (d *Dense) ParamCount() int { return d.Out*d.In + d.Out }
+func (d *Dense) NewScratch() any { return nil }
+func (d *Dense) Name() string    { return fmt.Sprintf("Dense(%d→%d)", d.In, d.Out) }
+
+func (d *Dense) weights(params []float64) tensor.Mat {
+	return tensor.MatFrom(d.Out, d.In, params[:d.Out*d.In])
+}
+
+func (d *Dense) biases(params []float64) []float64 {
+	return params[d.Out*d.In:]
+}
+
+// Forward computes out = W·in + b.
+func (d *Dense) Forward(params, in, out []float64, _ any) {
+	w := d.weights(params)
+	tensor.MatVec(out, w, in)
+	tensor.Axpy(1, d.biases(params), out)
+}
+
+// Backward accumulates dW += dOut⊗in, db += dOut and computes dIn = Wᵀ·dOut.
+func (d *Dense) Backward(params, grad, in, _, dOut, dIn []float64, _ any) {
+	gw := d.weights(grad)
+	tensor.OuterAdd(gw, 1, dOut, in)
+	tensor.Axpy(1, dOut, d.biases(grad))
+	if dIn != nil {
+		w := d.weights(params)
+		tensor.MatTVec(dIn, w, dOut)
+	}
+}
+
+// ReLU applies max(0, x) element-wise. It owns no parameters.
+type ReLU struct {
+	Dim int
+}
+
+// NewReLU returns a ReLU over dim elements.
+func NewReLU(dim int) *ReLU {
+	if dim <= 0 {
+		panic("nn: ReLU dimension must be positive")
+	}
+	return &ReLU{Dim: dim}
+}
+
+func (r *ReLU) InDim() int      { return r.Dim }
+func (r *ReLU) OutDim() int     { return r.Dim }
+func (r *ReLU) ParamCount() int { return 0 }
+func (r *ReLU) NewScratch() any { return nil }
+func (r *ReLU) Name() string    { return fmt.Sprintf("ReLU(%d)", r.Dim) }
+
+func (r *ReLU) Forward(_, in, out []float64, _ any) {
+	for i, v := range in {
+		if v > 0 {
+			out[i] = v
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+func (r *ReLU) Backward(_, _, in, _, dOut, dIn []float64, _ any) {
+	if dIn == nil {
+		return
+	}
+	for i, v := range in {
+		if v > 0 {
+			dIn[i] = dOut[i]
+		} else {
+			dIn[i] = 0
+		}
+	}
+}

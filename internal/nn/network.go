@@ -1,0 +1,334 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"leashedsgd/internal/data"
+	"leashedsgd/internal/rng"
+	"leashedsgd/internal/tensor"
+)
+
+// Network is an immutable feed-forward architecture description: a chain of
+// layers whose parameters are laid out consecutively in one flat vector of
+// length ParamCount(). A single Network value is shared read-only by all SGD
+// workers; every worker evaluates it through its own Workspace.
+type Network struct {
+	layers  []Layer
+	offsets []int // offsets[i] is the start of layer i's params in θ
+	d       int   // total parameter count
+	inDim   int
+	outDim  int
+}
+
+// NewNetwork validates that consecutive layers' dimensions chain and returns
+// the network.
+func NewNetwork(layers ...Layer) (*Network, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("nn: empty network")
+	}
+	n := &Network{layers: layers, offsets: make([]int, len(layers))}
+	for i, l := range layers {
+		if i > 0 && l.InDim() != layers[i-1].OutDim() {
+			return nil, fmt.Errorf("nn: layer %d (%s) expects input %d but layer %d (%s) outputs %d",
+				i, l.Name(), l.InDim(), i-1, layers[i-1].Name(), layers[i-1].OutDim())
+		}
+		n.offsets[i] = n.d
+		n.d += l.ParamCount()
+	}
+	n.inDim = layers[0].InDim()
+	n.outDim = layers[len(layers)-1].OutDim()
+	return n, nil
+}
+
+// MustNetwork is NewNetwork that panics on error; for the fixed architecture
+// builders below whose geometry is known correct.
+func MustNetwork(layers ...Layer) *Network {
+	n, err := NewNetwork(layers...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ParamCount returns d, the dimension of the flat parameter vector θ.
+func (n *Network) ParamCount() int { return n.d }
+
+// InDim returns the flattened input dimension.
+func (n *Network) InDim() int { return n.inDim }
+
+// OutDim returns the output (class logit) dimension.
+func (n *Network) OutDim() int { return n.outDim }
+
+// Layers returns the layer chain (read-only use).
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Arch returns a human-readable architecture summary.
+func (n *Network) Arch() string {
+	s := ""
+	for i, l := range n.layers {
+		if i > 0 {
+			s += " → "
+		}
+		s += l.Name()
+	}
+	return fmt.Sprintf("%s [d=%d]", s, n.d)
+}
+
+// layerParams returns layer i's slice of the flat vector v (params or grad).
+func (n *Network) layerParams(v []float64, i int) []float64 {
+	return v[n.offsets[i] : n.offsets[i]+n.layers[i].ParamCount()]
+}
+
+// Init fills params with N(0, σ²) values, the paper's rand_init
+// (theta ← N(0, 0.01), i.e. variance 0.01 → σ = 0.1).
+func (n *Network) Init(params []float64, r *rng.Rand, sigma float64) {
+	if len(params) != n.d {
+		panic("nn: Init params length mismatch")
+	}
+	for i := range params {
+		params[i] = sigma * r.NormFloat64()
+	}
+}
+
+// DefaultSigma is the σ for Init matching the paper's N(0, 0.01) variance.
+const DefaultSigma = 0.1
+
+// Workspace holds one worker's mutable evaluation state: activations per
+// layer boundary, error deltas, per-layer scratch, and the softmax buffer.
+// Workspaces are not safe for concurrent use; allocate one per worker.
+type Workspace struct {
+	acts    [][]float64 // acts[0] = input copy target, acts[i+1] = layer i output
+	deltas  [][]float64 // deltas[i] = dLoss/d(acts[i])
+	scratch []any
+	probs   []float64
+}
+
+// NewWorkspace allocates a workspace for this network.
+func (n *Network) NewWorkspace() *Workspace {
+	ws := &Workspace{
+		acts:    make([][]float64, len(n.layers)+1),
+		deltas:  make([][]float64, len(n.layers)+1),
+		scratch: make([]any, len(n.layers)),
+		probs:   make([]float64, n.outDim),
+	}
+	ws.acts[0] = make([]float64, n.inDim)
+	ws.deltas[0] = make([]float64, n.inDim)
+	for i, l := range n.layers {
+		ws.acts[i+1] = make([]float64, l.OutDim())
+		ws.deltas[i+1] = make([]float64, l.OutDim())
+		ws.scratch[i] = l.NewScratch()
+	}
+	return ws
+}
+
+// Forward runs the network on x (length InDim) and returns the logits slice,
+// which aliases workspace storage and is valid until the next call.
+func (n *Network) Forward(params, x []float64, ws *Workspace) []float64 {
+	if len(params) != n.d {
+		panic("nn: Forward params length mismatch")
+	}
+	if len(x) != n.inDim {
+		panic("nn: Forward input length mismatch")
+	}
+	copy(ws.acts[0], x)
+	for i, l := range n.layers {
+		l.Forward(n.layerParams(params, i), ws.acts[i], ws.acts[i+1], ws.scratch[i])
+	}
+	return ws.acts[len(n.layers)]
+}
+
+// softmaxCE computes softmax probabilities of logits into probs and returns
+// the cross-entropy loss against label y.
+func softmaxCE(logits, probs []float64, y int) float64 {
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		probs[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range probs {
+		probs[i] *= inv
+	}
+	p := probs[y]
+	if p < 1e-300 {
+		p = 1e-300
+	}
+	return -math.Log(p)
+}
+
+// LossGrad computes the mean softmax-cross-entropy loss of the batch and
+// ACCUMULATES the mean gradient into grad (callers zero grad when they want
+// a fresh gradient; accumulation supports gradient averaging schemes).
+// xs[i] must have length InDim; ys[i] in [0, OutDim).
+func (n *Network) LossGrad(params, grad []float64, xs [][]float64, ys []int, ws *Workspace) float64 {
+	if len(grad) != n.d {
+		panic("nn: LossGrad grad length mismatch")
+	}
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("nn: LossGrad empty or mismatched batch")
+	}
+	invB := 1 / float64(len(xs))
+	var totalLoss float64
+	nl := len(n.layers)
+	for b, x := range xs {
+		logits := n.Forward(params, x, ws)
+		totalLoss += softmaxCE(logits, ws.probs, ys[b])
+		// dLoss/dlogits = (softmax - onehot) / B
+		dOut := ws.deltas[nl]
+		for i := range dOut {
+			dOut[i] = ws.probs[i] * invB
+		}
+		dOut[ys[b]] -= invB
+		for i := nl - 1; i >= 0; i-- {
+			var dIn []float64
+			if i > 0 {
+				dIn = ws.deltas[i]
+			}
+			n.layers[i].Backward(n.layerParams(params, i), n.layerParams(grad, i),
+				ws.acts[i], ws.acts[i+1], ws.deltas[i+1], dIn, ws.scratch[i])
+		}
+	}
+	return totalLoss * invB
+}
+
+// BatchLossGrad is LossGrad over dataset rows selected by batch indices.
+func (n *Network) BatchLossGrad(params, grad []float64, ds *data.Dataset, batch data.Batch, ws *Workspace) float64 {
+	invB := 1 / float64(len(batch.Indices))
+	var totalLoss float64
+	nl := len(n.layers)
+	for _, idx := range batch.Indices {
+		logits := n.Forward(params, ds.X[idx], ws)
+		totalLoss += softmaxCE(logits, ws.probs, ds.Y[idx])
+		dOut := ws.deltas[nl]
+		for i := range dOut {
+			dOut[i] = ws.probs[i] * invB
+		}
+		dOut[ds.Y[idx]] -= invB
+		for i := nl - 1; i >= 0; i-- {
+			var dIn []float64
+			if i > 0 {
+				dIn = ws.deltas[i]
+			}
+			n.layers[i].Backward(n.layerParams(params, i), n.layerParams(grad, i),
+				ws.acts[i], ws.acts[i+1], ws.deltas[i+1], dIn, ws.scratch[i])
+		}
+	}
+	return totalLoss * invB
+}
+
+// Loss evaluates the mean cross-entropy over the samples selected by
+// indices (all samples when indices is nil). Evaluation-only: no gradient.
+func (n *Network) Loss(params []float64, ds *data.Dataset, indices []int, ws *Workspace) float64 {
+	var total float64
+	count := 0
+	eval := func(i int) {
+		logits := n.Forward(params, ds.X[i], ws)
+		total += softmaxCE(logits, ws.probs, ds.Y[i])
+		count++
+	}
+	if indices == nil {
+		for i := 0; i < ds.Len(); i++ {
+			eval(i)
+		}
+	} else {
+		for _, i := range indices {
+			eval(i)
+		}
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return total / float64(count)
+}
+
+// Accuracy returns the fraction of samples (selected by indices, or all)
+// whose argmax prediction matches the label.
+func (n *Network) Accuracy(params []float64, ds *data.Dataset, indices []int, ws *Workspace) float64 {
+	correct, count := 0, 0
+	eval := func(i int) {
+		logits := n.Forward(params, ds.X[i], ws)
+		if tensor.ArgMax(logits) == ds.Y[i] {
+			correct++
+		}
+		count++
+	}
+	if indices == nil {
+		for i := 0; i < ds.Len(); i++ {
+			eval(i)
+		}
+	} else {
+		for _, i := range indices {
+			eval(i)
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(correct) / float64(count)
+}
+
+// NewMLP builds input → hidden Dense+ReLU stacks → classes Dense, the
+// paper's MLP shape (Table II uses hidden = {128,128,128}, classes = 10).
+func NewMLP(inputDim int, hidden []int, classes int) *Network {
+	var layers []Layer
+	prev := inputDim
+	for _, h := range hidden {
+		layers = append(layers, NewDense(prev, h), NewReLU(h))
+		prev = h
+	}
+	layers = append(layers, NewDense(prev, classes))
+	return MustNetwork(layers...)
+}
+
+// NewPaperMLP is the exact Table II architecture: 784 → 128×3 → 10,
+// d = 134,794.
+func NewPaperMLP() *Network {
+	return NewMLP(28*28, []int{128, 128, 128}, 10)
+}
+
+// NewPaperCNN is the exact Table III architecture:
+// Conv(4 filters, 3×3) → Pool(2×2) → Conv(8, 3×3) → Pool(2×2) →
+// Dense(128) → Dense(10), with ReLU after conv and dense stages,
+// d = 27,354.
+func NewPaperCNN() *Network {
+	conv1 := NewConv2D(1, 28, 28, 4, 3)     // → 4×26×26
+	relu1 := NewReLU(conv1.OutDim())        //
+	pool1 := NewMaxPool2D(4, 26, 26, 2)     // → 4×13×13
+	conv2 := NewConv2D(4, 13, 13, 8, 3)     // → 8×11×11
+	relu2 := NewReLU(conv2.OutDim())        //
+	pool2 := NewMaxPool2D(8, 11, 11, 2)     // → 8×5×5 = 200
+	dense1 := NewDense(pool2.OutDim(), 128) //
+	relu3 := NewReLU(128)                   //
+	dense2 := NewDense(128, 10)             //
+	return MustNetwork(conv1, relu1, pool1, conv2, relu2, pool2, dense1, relu3, dense2)
+}
+
+// NewSmallMLP is a scaled-down MLP (input → 32 → 10) used by tests and the
+// laptop-scale default experiments, where the paper-scale d=134,794 model
+// would make every run minutes long.
+func NewSmallMLP(inputDim, classes int) *Network {
+	return NewMLP(inputDim, []int{32}, classes)
+}
+
+// NewSmallCNN is a scaled-down CNN with the same layer types as the paper's
+// (conv→pool→conv→pool→dense→dense) for fast experiment runs.
+func NewSmallCNN() *Network {
+	conv1 := NewConv2D(1, 28, 28, 2, 3) // → 2×26×26
+	relu1 := NewReLU(conv1.OutDim())
+	pool1 := NewMaxPool2D(2, 26, 26, 2) // → 2×13×13
+	conv2 := NewConv2D(2, 13, 13, 4, 3) // → 4×11×11
+	relu2 := NewReLU(conv2.OutDim())
+	pool2 := NewMaxPool2D(4, 11, 11, 2) // → 4×5×5 = 100
+	dense1 := NewDense(pool2.OutDim(), 32)
+	relu3 := NewReLU(32)
+	dense2 := NewDense(32, 10)
+	return MustNetwork(conv1, relu1, pool1, conv2, relu2, pool2, dense1, relu3, dense2)
+}

@@ -1,0 +1,264 @@
+// Package paramvec implements the paper's ParameterVector data structure
+// (Algorithm 1): the shared object holding the flattened model parameters
+// theta together with the metadata — sequence number t, readers count
+// n_rdrs, stale and deleted flags — that the Leashed-SGD algorithm uses for
+// lock-free consistent reads and safe memory recycling.
+//
+// Memory recycling under a garbage collector: the paper's `delete theta`
+// becomes "return the theta buffer to a free-list pool" guarded by the exact
+// safe_delete condition of Algorithm 1 line 8 (stale ∧ n_rdrs = 0 ∧
+// CAS(deleted, false, true)). Vector structs themselves are never reused —
+// only their buffers — so pointer CAS on the global published pointer can
+// never suffer ABA (a reclaimed-and-republished address), while the float
+// buffers, the actual memory mass (d×8 bytes, d up to 134,794 here), are
+// recycled just as in the paper. The Pool's accounting gauge measures live
+// buffers, which is precisely the quantity Lemma 2 bounds by 3m.
+package paramvec
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"leashedsgd/internal/rng"
+)
+
+// Pool allocates and recycles theta buffers of a fixed dimension and keeps
+// the memory accounting for the Fig. 10 experiments: live buffer count,
+// peak, and total allocations (allocations ≫ live demonstrates recycling).
+type Pool struct {
+	dim    int
+	mu     sync.Mutex
+	free   [][]float64
+	live   atomic.Int64
+	peak   atomic.Int64
+	allocs atomic.Int64
+	reuses atomic.Int64
+	// poison, when set (tests only), overwrites reclaimed buffers with NaN
+	// so that any use-after-recycle read is detectable downstream.
+	poison bool
+}
+
+// SetPoison enables test-mode poisoning of reclaimed buffers. Call before
+// any concurrent use.
+func (p *Pool) SetPoison(on bool) { p.poison = on }
+
+// NewPool returns a pool of dimension-dim buffers.
+func NewPool(dim int) *Pool {
+	if dim <= 0 {
+		panic("paramvec: pool dimension must be positive")
+	}
+	return &Pool{dim: dim}
+}
+
+// Dim returns the buffer dimension d.
+func (p *Pool) Dim() int { return p.dim }
+
+// getBuffer returns a zero-initialized... no: returns a possibly-dirty
+// buffer; callers always overwrite every element (copy or rand_init), so
+// clearing would be wasted work on the hot path.
+func (p *Pool) getBuffer() []float64 {
+	p.mu.Lock()
+	n := len(p.free)
+	var buf []float64
+	if n > 0 {
+		buf = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if buf == nil {
+		buf = make([]float64, p.dim)
+		p.allocs.Add(1)
+	} else {
+		p.reuses.Add(1)
+	}
+	live := p.live.Add(1)
+	for {
+		peak := p.peak.Load()
+		if live <= peak || p.peak.CompareAndSwap(peak, live) {
+			break
+		}
+	}
+	return buf
+}
+
+// putBuffer returns a buffer to the free list.
+func (p *Pool) putBuffer(buf []float64) {
+	if p.poison {
+		nan := math.NaN()
+		for i := range buf {
+			buf[i] = nan
+		}
+	}
+	p.live.Add(-1)
+	p.mu.Lock()
+	p.free = append(p.free, buf)
+	p.mu.Unlock()
+}
+
+// Live returns the number of buffers currently checked out — the "number of
+// ParameterVector instances" gauge of the memory experiments.
+func (p *Pool) Live() int64 { return p.live.Load() }
+
+// Peak returns the high-water mark of Live.
+func (p *Pool) Peak() int64 { return p.peak.Load() }
+
+// Allocs returns how many buffers were ever heap-allocated.
+func (p *Pool) Allocs() int64 { return p.allocs.Load() }
+
+// Reuses returns how many checkouts were served from the free list.
+func (p *Pool) Reuses() int64 { return p.reuses.Load() }
+
+// Vector is one ParameterVector instance (Algorithm 1). Theta is immutable
+// once the vector has been published via a successful CAS on the global
+// pointer; before publication it is private to the creating worker.
+type Vector struct {
+	Theta []float64
+	// T is the sequence number of the most recent update folded into
+	// Theta. For published vectors, T totally orders the published
+	// history (paper P1).
+	T int64
+
+	nRdrs   atomic.Int64
+	stale   atomic.Bool
+	deleted atomic.Bool
+	pool    *Pool
+}
+
+// New checks a fresh Vector out of the pool. Theta content is unspecified;
+// call RandInit or CopyFrom before use.
+func New(p *Pool) *Vector {
+	return &Vector{Theta: p.getBuffer(), pool: p}
+}
+
+// RandInit fills Theta with N(0, sigma²) — Algorithm 1's rand_init.
+func (v *Vector) RandInit(r *rng.Rand, sigma float64) {
+	for i := range v.Theta {
+		v.Theta[i] = sigma * r.NormFloat64()
+	}
+}
+
+// CopyFrom copies src's parameter values and sequence number
+// (Algorithm 3 lines 27-28).
+func (v *Vector) CopyFrom(src *Vector) {
+	copy(v.Theta, src.Theta)
+	v.T = src.T
+}
+
+// Update applies θ ← θ − η·δ and advances the sequence number
+// (Algorithm 1's update). It must only be called on vectors that are
+// private to the caller (Leashed-SGD) or protected externally (the
+// lock-based baseline).
+func (v *Vector) Update(delta []float64, eta float64) {
+	v.T++
+	theta := v.Theta
+	for i, d := range delta {
+		theta[i] -= eta * d
+	}
+}
+
+// StartReading registers the caller as a reader (n_rdrs.fetch_add(1)).
+func (v *Vector) StartReading() {
+	v.nRdrs.Add(1)
+}
+
+// StopReading deregisters the caller and attempts safe recycling, exactly
+// Algorithm 1's stop_reading.
+func (v *Vector) StopReading() {
+	v.nRdrs.Add(-1)
+	v.SafeDelete()
+}
+
+// MarkStale labels the vector as superseded (set after a successful publish
+// CAS replaces it, Algorithm 3 line 33). Once stale, latest_pointer will
+// refuse to return it and it becomes a recycling candidate.
+func (v *Vector) MarkStale() {
+	v.stale.Store(true)
+}
+
+// Stale reports whether the vector has been superseded.
+func (v *Vector) Stale() bool { return v.stale.Load() }
+
+// Readers returns the current reader count (metadata for tests/inspection).
+func (v *Vector) Readers() int64 { return v.nRdrs.Load() }
+
+// Deleted reports whether the buffer has been reclaimed.
+func (v *Vector) Deleted() bool { return v.deleted.Load() }
+
+// SafeDelete reclaims the theta buffer iff the Algorithm 1 line 8 condition
+// holds: stale ∧ n_rdrs = 0 ∧ CAS(deleted, false, true). It returns whether
+// this call performed the reclamation.
+//
+// The condition is exactly the paper's: stale guarantees no *new* readers
+// can acquire the vector (latest_pointer re-checks staleness after
+// start_reading and backs off), n_rdrs = 0 guarantees no current reader,
+// and the CAS ensures a single reclaimer. A reader that raced past the
+// pointer fetch but has not yet called StartReading is harmless: it will
+// observe stale afterwards and retry without touching Theta.
+func (v *Vector) SafeDelete() bool {
+	if v.stale.Load() && v.nRdrs.Load() == 0 && v.deleted.CompareAndSwap(false, true) {
+		buf := v.Theta
+		v.Theta = nil
+		v.pool.putBuffer(buf)
+		return true
+	}
+	return false
+}
+
+// Release returns a never-published vector's buffer to the pool (the
+// persistence-bound abort path, Algorithm 3 line 38: delete new_param).
+// The vector must be private to the caller.
+func (v *Vector) Release() {
+	if v.deleted.CompareAndSwap(false, true) {
+		buf := v.Theta
+		v.Theta = nil
+		v.pool.putBuffer(buf)
+	}
+}
+
+// Shared is the published-pointer cell P from Algorithm 3, wrapping the
+// atomic pointer plus the acquire protocol.
+type Shared struct {
+	p atomic.Pointer[Vector]
+}
+
+// Publish installs v unconditionally (initialization only).
+func (s *Shared) Publish(v *Vector) {
+	s.p.Store(v)
+}
+
+// TryPublish is the LAU-SPC publish step: a single CAS replacing expected
+// with v (Algorithm 3 line 31). On success the replaced vector is marked
+// stale and offered for recycling, and TryPublish returns true.
+func (s *Shared) TryPublish(expected, v *Vector) bool {
+	if !s.p.CompareAndSwap(expected, v) {
+		return false
+	}
+	expected.MarkStale()
+	expected.SafeDelete()
+	return true
+}
+
+// Latest is Algorithm 3's latest_pointer(): fetch the published pointer,
+// register as reader, re-check staleness; on staleness deregister and retry.
+// The returned vector is protected from recycling until the caller invokes
+// StopReading. The loop is lock-free: a retry implies another thread
+// published (system-wide progress).
+func (s *Shared) Latest() *Vector {
+	for {
+		v := s.p.Load()
+		v.StartReading()
+		if !v.Stale() {
+			return v
+		}
+		v.StopReading()
+	}
+}
+
+// Peek returns the current published vector WITHOUT read protection. Only
+// for monitoring/tests that tolerate a stale snapshot; never use the
+// returned Theta without holding a read registration.
+func (s *Shared) Peek() *Vector {
+	return s.p.Load()
+}

@@ -1,0 +1,213 @@
+package queuemodel
+
+import (
+	"math"
+	"testing"
+)
+
+func params(m int, tc, tu, gamma float64) Params {
+	return Params{M: m, Tc: tc, Tu: tu, Gamma: gamma}
+}
+
+func TestValidate(t *testing.T) {
+	if err := params(16, 10, 2, 0).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{M: 0, Tc: 10, Tu: 2},
+		{M: 4, Tc: 0, Tu: 2},
+		{M: 4, Tc: 10, Tu: 0},
+		{M: 4, Tc: 10, Tu: 2, Gamma: -1},
+		{M: 4, Tc: 1, Tu: 1}, // 1/Tc + 1/Tu = 2: unstable regime
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+// TestTheorem3ClosedForm checks that the closed form (eq. 5) matches the
+// recursion (eq. 4) exactly for many steps and several parameterizations.
+func TestTheorem3ClosedForm(t *testing.T) {
+	cases := []struct {
+		p  Params
+		n0 float64
+	}{
+		{params(16, 10, 2, 0), 0},
+		{params(16, 10, 2, 0), 16},
+		{params(68, 50, 1.5, 0), 5},
+		{params(8, 3, 2, 0), 2},
+	}
+	for ci, c := range cases {
+		n := c.n0
+		for step := 0; step <= 200; step++ {
+			closed := c.p.NT(step, c.n0)
+			if math.Abs(closed-n) > 1e-9*(1+math.Abs(n)) {
+				t.Fatalf("case %d step %d: closed form %v != recursion %v", ci, step, closed, n)
+			}
+			n = c.p.Step(n)
+		}
+	}
+}
+
+// TestCorollary31Stability: n_t converges to n* from any initial occupancy.
+func TestCorollary31Stability(t *testing.T) {
+	p := params(16, 10, 2, 0)
+	nStar := p.FixedPoint()
+	for _, n0 := range []float64{0, 4, 16} {
+		n := n0
+		for i := 0; i < 10000; i++ {
+			n = p.Step(n)
+		}
+		if math.Abs(n-nStar) > 1e-6 {
+			t.Fatalf("from n0=%v: n_∞ = %v, want n* = %v", n0, n, nStar)
+		}
+	}
+}
+
+func TestFixedPointFormula(t *testing.T) {
+	p := params(16, 10, 2, 0)
+	// n* = m / (Tc/Tu + 1) = 16 / 6
+	if got, want := p.FixedPoint(), 16.0/6.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("n* = %v, want %v", got, want)
+	}
+	// Fixed point must be a fixed point of the recursion.
+	if math.Abs(p.Step(p.FixedPoint())-p.FixedPoint()) > 1e-12 {
+		t.Fatal("FixedPoint is not fixed under Step")
+	}
+}
+
+// TestCorollary32Persistence: γ > 0 strictly lowers the fixed point, and it
+// vanishes as γ → ∞.
+func TestCorollary32Persistence(t *testing.T) {
+	base := params(16, 10, 2, 0)
+	prev := base.FixedPoint()
+	for _, gamma := range []float64{0.5, 1, 2, 8, 64} {
+		p := params(16, 10, 2, gamma)
+		fp := p.FixedPoint()
+		if fp >= prev {
+			t.Fatalf("γ=%v: fixed point %v not below %v", gamma, fp, prev)
+		}
+		if math.Abs(p.Step(fp)-fp) > 1e-12 {
+			t.Fatalf("γ=%v: n*_γ not fixed under γ-augmented Step", gamma)
+		}
+		prev = fp
+	}
+	huge := params(16, 10, 2, 1e9)
+	if huge.FixedPoint() > 1e-6 {
+		t.Fatalf("n*_γ does not vanish for huge γ: %v", huge.FixedPoint())
+	}
+}
+
+func TestBalanceDependsOnlyOnRatio(t *testing.T) {
+	a := params(16, 10, 2, 0)
+	b := params(64, 50, 10, 0) // same Tc/Tu = 5
+	if math.Abs(a.Balance()-b.Balance()) > 1e-12 {
+		t.Fatalf("balance differs for equal Tu/Tc: %v vs %v", a.Balance(), b.Balance())
+	}
+	// Balance = Tu/(Tu+Tc) = 2/12.
+	if math.Abs(a.Balance()-2.0/12.0) > 1e-12 {
+		t.Fatalf("balance = %v", a.Balance())
+	}
+}
+
+func TestTrajectoryShape(t *testing.T) {
+	p := params(16, 10, 2, 0)
+	tr := p.Trajectory(50, 0)
+	if len(tr) != 51 || tr[0] != 0 {
+		t.Fatalf("trajectory shape: len=%d first=%v", len(tr), tr[0])
+	}
+	// Monotone approach from below.
+	for i := 1; i < len(tr); i++ {
+		if tr[i] < tr[i-1]-1e-12 {
+			t.Fatalf("trajectory not monotone from below at %d", i)
+		}
+	}
+	if tr[50] > p.FixedPoint()+1e-9 {
+		t.Fatalf("trajectory overshot the fixed point")
+	}
+}
+
+func TestExpectedTauSEqualsFixedPoint(t *testing.T) {
+	p := params(34, 20, 2, 1)
+	if p.ExpectedTauS() != p.FixedPoint() {
+		t.Fatal("E[τ^s] estimate must equal n*_γ")
+	}
+}
+
+// TestSimulationMatchesFixedPoint: in ideal mode (the fluid model's own
+// assumptions — every completed pass departs) the simulator's time-averaged
+// occupancy must land close to the fluid fixed point.
+func TestSimulationMatchesFixedPoint(t *testing.T) {
+	p := params(16, 10, 2, 0)
+	res := Simulate(p, SimOptions{Tp: -1, Contention: false, Steps: 200000, Seed: 7})
+	fp := p.FixedPoint()
+	if math.Abs(res.MeanOccupancy-fp) > 0.15*fp {
+		t.Fatalf("sim occupancy %v vs fluid n* %v: off by more than 15%%", res.MeanOccupancy, fp)
+	}
+	if res.Published == 0 {
+		t.Fatal("no publishes simulated")
+	}
+	if res.Dropped != 0 {
+		t.Fatal("unbounded run dropped gradients")
+	}
+}
+
+// TestSimulationContentionRaisesOccupancy: modeling CAS losses keeps threads
+// in the retry loop longer, so occupancy must exceed the ideal fluid value —
+// the gap the persistence bound exists to close.
+func TestSimulationContentionRaisesOccupancy(t *testing.T) {
+	p := params(16, 6, 3, 0)
+	ideal := Simulate(p, SimOptions{Tp: -1, Contention: false, Steps: 200000, Seed: 11})
+	contended := Simulate(p, SimOptions{Tp: -1, Contention: true, Steps: 200000, Seed: 11})
+	if contended.MeanOccupancy <= ideal.MeanOccupancy {
+		t.Fatalf("contention occupancy %v not above ideal %v",
+			contended.MeanOccupancy, ideal.MeanOccupancy)
+	}
+}
+
+// TestSimulationPersistenceReducesOccupancyAndTau: a tight persistence bound
+// must reduce both the retry-loop occupancy and the scheduling staleness —
+// the Sec. IV-2 contention-regulation claim.
+func TestSimulationPersistenceReducesOccupancyAndTau(t *testing.T) {
+	p := params(16, 6, 3, 0)
+	unbounded := Simulate(p, SimOptions{Tp: -1, Contention: true, Steps: 200000, Seed: 11})
+	bounded := Simulate(p, SimOptions{Tp: 0, Contention: true, Steps: 200000, Seed: 11})
+	if bounded.Dropped == 0 {
+		t.Fatal("tp=0 run never dropped a gradient under contention")
+	}
+	if bounded.MeanOccupancy >= unbounded.MeanOccupancy {
+		t.Fatalf("tp=0 occupancy %v not below unbounded %v",
+			bounded.MeanOccupancy, unbounded.MeanOccupancy)
+	}
+	if bounded.MeanTauS >= unbounded.MeanTauS {
+		t.Fatalf("tp=0 mean τ^s %v not below unbounded %v",
+			bounded.MeanTauS, unbounded.MeanTauS)
+	}
+}
+
+func TestSimulateValidatesParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Simulate accepted invalid params")
+		}
+	}()
+	Simulate(Params{M: 0, Tc: 1, Tu: 1}, SimOptions{Tp: -1, Steps: 10, Seed: 1})
+}
+
+func BenchmarkStep(b *testing.B) {
+	p := params(68, 50, 2, 0.5)
+	n := 0.0
+	for i := 0; i < b.N; i++ {
+		n = p.Step(n)
+	}
+	_ = n
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	p := params(16, 10, 2, 0)
+	for i := 0; i < b.N; i++ {
+		Simulate(p, SimOptions{Tp: 1, Contention: true, Steps: 1000, Seed: uint64(i)})
+	}
+}

@@ -1,0 +1,176 @@
+// Package report renders experiment results as fixed-width text tables, CSV,
+// and ASCII charts — the output layer for the harness and benchmarks that
+// regenerate the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-oriented text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; missing cells render empty, extras are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table in aligned fixed-width form.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(w, "%-*s", widths[i]+2, c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV (no quoting needed for our numeric cells;
+// commas inside cells are replaced with semicolons defensively).
+func (t *Table) WriteCSV(w io.Writer) error {
+	clean := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	cells := make([]string, len(t.Headers))
+	for i, h := range t.Headers {
+		cells[i] = clean(h)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			cells[i] = clean(c)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one named (x, y) line for chart rendering.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders multiple series as an ASCII scatter/line chart of the given
+// size. Each series is drawn with its own marker rune. NaN points are
+// skipped.
+func Chart(w io.Writer, title string, width, height int, series []Series) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			any = true
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	fmt.Fprintf(w, "-- %s --\n", title)
+	if !any {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	markers := []rune{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			cx := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			cy := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = m
+		}
+	}
+	fmt.Fprintf(w, "%10.3g ┤\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(w, "           │%s\n", string(row))
+	}
+	fmt.Fprintf(w, "%10.3g └%s\n", minY, strings.Repeat("─", width))
+	fmt.Fprintf(w, "            %-10.3g%*s\n", minX, width-10, fmt.Sprintf("%.3g", maxX))
+	for si, s := range series {
+		fmt.Fprintf(w, "            %c %s\n", markers[si%len(markers)], s.Name)
+	}
+}
+
+// FmtSeconds formats a duration in seconds with 3 significant digits, or
+// "-" for NaN (non-converged runs).
+func FmtSeconds(sec float64) string {
+	if math.IsNaN(sec) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3g", sec)
+}
+
+// FmtCount formats an integer cell.
+func FmtCount(n int) string { return fmt.Sprintf("%d", n) }

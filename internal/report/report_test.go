@@ -1,0 +1,114 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("demo", "algo", "time")
+	tbl.AddRow("ASYNC", "1.5")
+	tbl.AddRow("LSH_ps0", "0.9")
+	s := tbl.String()
+	if !strings.Contains(s, "== demo ==") {
+		t.Fatalf("missing title: %q", s)
+	}
+	if !strings.Contains(s, "ASYNC") || !strings.Contains(s, "LSH_ps0") {
+		t.Fatalf("missing rows: %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("line count = %d: %q", len(lines), s)
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.AddRow("1")                // short row pads
+	tbl.AddRow("1", "2", "3", "4") // long row truncates
+	if len(tbl.Rows[0]) != 3 || len(tbl.Rows[1]) != 3 {
+		t.Fatalf("row normalization failed: %v", tbl.Rows)
+	}
+	if tbl.Rows[1][2] != "3" {
+		t.Fatalf("truncation wrong: %v", tbl.Rows[1])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := NewTable("x", "h1", "h2")
+	tbl.AddRow("a,b", "2")
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "h1,h2\n") {
+		t.Fatalf("CSV header: %q", got)
+	}
+	if !strings.Contains(got, "a;b,2") {
+		t.Fatalf("comma escaping failed: %q", got)
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	var buf bytes.Buffer
+	Chart(&buf, "loss", 30, 8, []Series{
+		{Name: "ASYNC", X: []float64{0, 1, 2}, Y: []float64{2.3, 1.5, 0.9}},
+		{Name: "LSH", X: []float64{0, 1, 2}, Y: []float64{2.3, 1.2, 0.5}},
+	})
+	s := buf.String()
+	if !strings.Contains(s, "-- loss --") {
+		t.Fatalf("missing title: %q", s)
+	}
+	if !strings.Contains(s, "* ASYNC") || !strings.Contains(s, "+ LSH") {
+		t.Fatalf("missing legend: %q", s)
+	}
+	if !strings.Contains(s, "*") {
+		t.Fatal("no data points drawn")
+	}
+}
+
+func TestChartEmptyData(t *testing.T) {
+	var buf bytes.Buffer
+	Chart(&buf, "empty", 20, 5, []Series{{Name: "none", X: nil, Y: nil}})
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Fatalf("empty chart render: %q", buf.String())
+	}
+}
+
+func TestChartSkipsNaN(t *testing.T) {
+	var buf bytes.Buffer
+	Chart(&buf, "nan", 20, 5, []Series{
+		{Name: "s", X: []float64{0, math.NaN(), 2}, Y: []float64{1, 5, 3}},
+	})
+	if strings.Contains(buf.String(), "(no data)") {
+		t.Fatal("valid points dropped")
+	}
+}
+
+func TestChartDegenerateRange(t *testing.T) {
+	var buf bytes.Buffer
+	// Single point: min == max on both axes must not divide by zero.
+	Chart(&buf, "point", 20, 5, []Series{{Name: "p", X: []float64{1}, Y: []float64{1}}})
+	if !strings.Contains(buf.String(), "* p") {
+		t.Fatal("single-point chart failed")
+	}
+}
+
+func TestFmtSeconds(t *testing.T) {
+	if FmtSeconds(math.NaN()) != "-" {
+		t.Fatal("NaN should render as -")
+	}
+	if FmtSeconds(1.2345) != "1.23" {
+		t.Fatalf("FmtSeconds = %q", FmtSeconds(1.2345))
+	}
+}
+
+func TestFmtCount(t *testing.T) {
+	if FmtCount(42) != "42" {
+		t.Fatal("FmtCount wrong")
+	}
+}

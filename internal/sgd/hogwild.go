@@ -1,0 +1,98 @@
+package sgd
+
+import (
+	"sync"
+	"time"
+
+	"leashedsgd/internal/atomicx"
+	"leashedsgd/internal/data"
+	"leashedsgd/internal/paramvec"
+)
+
+// launchHogwild starts HOGWILD! workers (Algorithm 4): no coordination among
+// threads; each copies the shared vector, computes a gradient, and applies
+// it component by component while others read and write concurrently.
+//
+// Go-specific adaptation (DESIGN.md §5): the shared θ lives in a []uint64
+// bit-pattern array accessed with atomic loads and CAS-adds, because Go
+// forbids racing float64 accesses. Component updates are individually atomic
+// (no torn words, no lost component updates), but the vector as a whole has
+// NO consistency — reads interleave with concurrent partial updates exactly
+// as in the original HOGWILD!, which is the inconsistency penalty (the √d
+// factor of Alistarh et al. [3]) the paper measures against.
+func (rt *runCtx) launchHogwild(wg *sync.WaitGroup, initVec *paramvec.Vector) (snapshot func([]float64), cleanup func()) {
+	cfg := rt.cfg
+	shared := make([]uint64, rt.d)
+	for i, v := range initVec.Theta {
+		atomicx.StoreFloat64(&shared[i], v)
+	}
+	// initVec's buffer is no longer needed (values copied into the atomic
+	// array), but the shared array itself is one live ParameterVector for
+	// the memory accounting; keep the checkout to represent it.
+	accounting := initVec
+
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ws := rt.net.NewWorkspace()
+			localParam := paramvec.New(rt.pool)
+			localGrad := paramvec.New(rt.pool)
+			defer localParam.Release()
+			defer localGrad.Release()
+			sampler := data.NewSampler(rt.ds.Len(), cfg.BatchSize, cfg.Seed, id)
+			hist := rt.hists[id]
+			tc, tu := rt.tcs[id], rt.tus[id]
+			var velocity []float64
+			if cfg.Momentum > 0 {
+				velocity = make([]float64, rt.d)
+			}
+			for !rt.stop.Load() && !rt.budgetExhausted() {
+				// Uncoordinated read: other workers may be mid-update,
+				// so this view can mix parameter versions (inconsistent).
+				readSeq := rt.updates.Load()
+				for i := range shared {
+					localParam.Theta[i] = atomicx.LoadFloat64(&shared[i])
+				}
+
+				batch := sampler.Next()
+				zero(localGrad.Theta)
+				var t0 time.Time
+				if cfg.SampleTiming {
+					t0 = time.Now()
+				}
+				rt.net.BatchLossGrad(localParam.Theta, localGrad.Theta, rt.ds, batch, ws)
+				if cfg.SampleTiming {
+					tc.Observe(time.Since(t0))
+				}
+				step := rt.effectiveStep(localGrad.Theta, velocity)
+
+				// Uncoordinated component-wise update.
+				if cfg.SampleTiming {
+					t0 = time.Now()
+				}
+				eta := rt.adaptedEta(rt.updates.Load() - readSeq)
+				for i, g := range step {
+					if g != 0 {
+						atomicx.AddFloat64(&shared[i], -eta*g)
+					}
+				}
+				if cfg.SampleTiming {
+					tu.Observe(time.Since(t0))
+				}
+				applied := rt.updates.Add(1)
+				hist.Observe(applied - 1 - readSeq)
+			}
+		}(w)
+	}
+
+	snapshot = func(dst []float64) {
+		for i := range dst {
+			dst[i] = atomicx.LoadFloat64(&shared[i])
+		}
+	}
+	cleanup = func() {
+		accounting.Release()
+	}
+	return snapshot, cleanup
+}

@@ -1,0 +1,136 @@
+package sgd
+
+import (
+	"sync"
+	"time"
+
+	"leashedsgd/internal/data"
+	"leashedsgd/internal/paramvec"
+)
+
+// launchLeashed starts Leashed-SGD workers (Algorithm 3).
+//
+// Per iteration a worker:
+//  1. acquires the latest published ParameterVector with the lock-free
+//     latest_pointer protocol and computes its gradient directly against the
+//     published theta — zero-copy reads (paper P3);
+//  2. enters the LAU-SPC loop: check out a fresh vector, copy the (possibly
+//     newer) latest published values into it, fold in the gradient, and try
+//     to publish with a single CAS (paper P1, P5);
+//  3. on CAS failure, retries up to the persistence bound Tp, after which
+//     the gradient is dropped and the vector recycled (contention
+//     regulation, Sec. IV-2);
+//  4. replaced vectors are marked stale and recycled once the last reader
+//     leaves (paper P2, P4).
+//
+// The LeashedAdaptive variant (extension, DESIGN.md §6) replaces the fixed
+// Tp with a bound that shrinks under observed contention: each worker halves
+// its local bound after a dropped update and grows it by one after an
+// uncontended publish, approximating the γ-regulation of Corollary 3.2
+// without manual tuning.
+func (rt *runCtx) launchLeashed(wg *sync.WaitGroup, initVec *paramvec.Vector) (snapshot func([]float64), cleanup func()) {
+	cfg := rt.cfg
+	var shared paramvec.Shared
+	shared.Publish(initVec)
+	adaptive := cfg.Algo == LeashedAdaptive
+
+	// The published chain's sequence number doubles as the global update
+	// counter; mirror it into rt.updates for the monitor via the
+	// publishing worker.
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ws := rt.net.NewWorkspace()
+			localGrad := paramvec.New(rt.pool)
+			defer localGrad.Release()
+			sampler := data.NewSampler(rt.ds.Len(), cfg.BatchSize, cfg.Seed, id)
+			hist := rt.hists[id]
+			tc, tu := rt.tcs[id], rt.tus[id]
+			var velocity []float64
+			if cfg.Momentum > 0 {
+				velocity = make([]float64, rt.d)
+			}
+			localBound := cfg.Persistence
+			if adaptive {
+				localBound = 4
+			}
+			for !rt.stop.Load() && !rt.budgetExhausted() {
+				// (1) Gradient against the published vector, in place.
+				latest := shared.Latest()
+				readT := latest.T
+				batch := sampler.Next()
+				zero(localGrad.Theta)
+				var t0 time.Time
+				if cfg.SampleTiming {
+					t0 = time.Now()
+				}
+				rt.net.BatchLossGrad(latest.Theta, localGrad.Theta, rt.ds, batch, ws)
+				if cfg.SampleTiming {
+					tc.Observe(time.Since(t0))
+				}
+				latest.StopReading()
+				step := rt.effectiveStep(localGrad.Theta, velocity)
+
+				// (2) LAU-SPC loop.
+				newParam := paramvec.New(rt.pool)
+				numTries := 0
+				published := false
+				for {
+					cur := shared.Latest()
+					if cfg.SampleTiming {
+						t0 = time.Now()
+					}
+					newParam.CopyFrom(cur)
+					cur.StopReading()
+					newParam.Update(step, rt.adaptedEta(newParam.T-readT))
+					ok := shared.TryPublish(cur, newParam)
+					if cfg.SampleTiming {
+						tu.Observe(time.Since(t0))
+					}
+					if ok {
+						published = true
+						rt.updates.Add(1)
+						// Staleness: publishes between the gradient's
+						// source vector and this one, exclusive.
+						hist.Observe(newParam.T - 1 - readT)
+						break
+					}
+					rt.failedCAS.Add(1)
+					numTries++
+					if localBound >= 0 && numTries > localBound {
+						newParam.Release()
+						rt.dropped.Add(1)
+						break
+					}
+					if rt.stop.Load() {
+						newParam.Release()
+						break
+					}
+				}
+				if adaptive {
+					if published && numTries == 0 {
+						if localBound < 64 {
+							localBound++
+						}
+					} else if !published {
+						localBound /= 2
+					}
+				}
+			}
+		}(w)
+	}
+
+	snapshot = func(dst []float64) {
+		v := shared.Latest()
+		copy(dst, v.Theta)
+		v.StopReading()
+	}
+	cleanup = func() {
+		// Retire the final published vector so the pool gauge drains.
+		v := shared.Peek()
+		v.MarkStale()
+		v.SafeDelete()
+	}
+	return snapshot, cleanup
+}

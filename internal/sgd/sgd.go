@@ -1,0 +1,419 @@
+// Package sgd implements the paper's algorithm family over the
+// ParameterVector abstraction: sequential SGD (SEQ), lock-based AsyncSGD
+// (Algorithm 2), HOGWILD! (Algorithm 4), and Leashed-SGD (Algorithm 3) with
+// its persistence bound Tp — together with the instrumentation the
+// evaluation needs: ε-convergence / Diverge / Crash classification,
+// wall-clock and statistical efficiency, staleness distributions, Tc/Tu
+// timing and ParameterVector memory accounting.
+package sgd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leashedsgd/internal/data"
+	"leashedsgd/internal/metrics"
+	"leashedsgd/internal/nn"
+	"leashedsgd/internal/paramvec"
+	"leashedsgd/internal/rng"
+	"leashedsgd/internal/tensor"
+)
+
+// Algorithm selects the parallel SGD variant.
+type Algorithm int
+
+const (
+	// Seq is sequential SGD — one worker, no synchronization overhead
+	// beyond the monitor's snapshot lock.
+	Seq Algorithm = iota
+	// Async is the standard lock-based AsyncSGD of Algorithm 2: reads and
+	// updates of the shared vector are mutually exclusive.
+	Async
+	// Hogwild is Algorithm 4: no inter-thread coordination; reads and
+	// component-wise updates interleave freely (component-atomic here, as
+	// Go forbids racing float writes — see internal/atomicx).
+	Hogwild
+	// Leashed is Algorithm 3: lock-free consistent AsyncSGD with
+	// persistence bound Tp (Config.Persistence).
+	Leashed
+	// LeashedAdaptive is the extension variant: the persistence bound
+	// adapts to observed CAS contention instead of being fixed.
+	LeashedAdaptive
+	// SyncLockstep is synchronous parallel SGD (paper Sec. I): per round,
+	// all m workers compute gradients against the same snapshot, the
+	// coordinator averages them and takes one global step. Included as
+	// the lock-step comparison point the asynchronous variants motivate
+	// themselves against.
+	SyncLockstep
+)
+
+// String returns the evaluation-section name of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Seq:
+		return "SEQ"
+	case Async:
+		return "ASYNC"
+	case Hogwild:
+		return "HOG"
+	case Leashed:
+		return "LSH"
+	case LeashedAdaptive:
+		return "LSH_adpt"
+	case SyncLockstep:
+		return "SYNC"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// PersistenceInf is the Persistence value meaning Tp = ∞ (retry until the
+// CAS succeeds; the LSH_ps∞ configuration).
+const PersistenceInf = -1
+
+// Config describes one training run.
+type Config struct {
+	Algo      Algorithm
+	Workers   int     // m
+	Eta       float64 // step size η
+	BatchSize int
+
+	// Persistence is the LAU-SPC bound Tp: number of failed CAS attempts
+	// tolerated before the gradient is dropped. 0 and 1 are the paper's
+	// LSH_ps0/LSH_ps1; PersistenceInf is LSH_ps∞. Ignored by other
+	// algorithms.
+	Persistence int
+
+	Seed uint64
+
+	// Stop conditions. EpsilonFrac sets the convergence target as a
+	// fraction of the initial loss (the paper's ε, e.g. 0.5 = 50%);
+	// 0 disables the target. MaxUpdates and MaxTime bound the run;
+	// exceeding either without reaching the target classifies the run
+	// as Diverge.
+	EpsilonFrac float64
+	MaxUpdates  int64
+	MaxTime     time.Duration
+
+	// Monitor settings. EvalEvery is the loss-sampling cadence (default
+	// 25ms); EvalSubset the number of dataset rows used per evaluation
+	// (default min(256, len)).
+	EvalEvery  time.Duration
+	EvalSubset int
+
+	// StalenessBound bounds the staleness histogram (default 8m+64).
+	StalenessBound int
+
+	// Momentum, when non-zero, enables the per-worker heavy-ball
+	// extension: v ← µv + ∇f, step taken along v. 0 = plain SGD (paper).
+	Momentum float64
+
+	// TauAdaptiveBeta, when non-zero, enables the staleness-adaptive step
+	// size extension (the direction of MindTheStep-AsyncPSGD, the paper's
+	// ref. [4], which Sec. VI calls orthogonal to the synchronization
+	// mechanisms studied): the update with observed staleness τ̂ is
+	// applied with η/(1 + β·τ̂) instead of η. Supported by ASYNC, HOG and
+	// the Leashed variants.
+	TauAdaptiveBeta float64
+
+	// SampleTiming records per-iteration Tc/Tu durations (Fig. 9).
+	SampleTiming bool
+}
+
+// withDefaults returns cfg with unset knobs filled in.
+func (c Config) withDefaults(dsLen int) Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Algo == Seq {
+		c.Workers = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 25 * time.Millisecond
+	}
+	if c.EvalSubset <= 0 || c.EvalSubset > dsLen {
+		c.EvalSubset = dsLen
+		if c.EvalSubset > 256 {
+			c.EvalSubset = 256
+		}
+	}
+	if c.StalenessBound <= 0 {
+		c.StalenessBound = 8*c.Workers + 64
+	}
+	if c.MaxUpdates <= 0 && c.MaxTime <= 0 {
+		c.MaxTime = 10 * time.Second
+	}
+	return c
+}
+
+// Outcome classifies a finished run the way the paper's figures do.
+type Outcome int
+
+const (
+	// Converged: the loss reached ε·f(θ0) within budget.
+	Converged Outcome = iota
+	// Diverged: budget exhausted without reaching the target.
+	Diverged
+	// Crashed: numerical instability (NaN/Inf loss or parameters).
+	Crashed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Converged:
+		return "Converged"
+	case Diverged:
+		return "Diverged"
+	case Crashed:
+		return "Crashed"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Result carries every measurement of one run.
+type Result struct {
+	Outcome     Outcome
+	InitialLoss float64
+	TargetLoss  float64
+	FinalLoss   float64
+
+	// Convergence rate (wall-clock) and statistical efficiency
+	// (updates) to the ε target; zero when not converged.
+	TimeToTarget    time.Duration
+	UpdatesToTarget int64
+
+	TotalUpdates int64
+	Elapsed      time.Duration
+
+	Trace     metrics.Trace
+	Staleness *metrics.Hist
+	Tc, Tu    *metrics.DurationSampler
+
+	// FinalParams is the parameter snapshot at the moment the run ended
+	// (whatever the outcome) — the trained model, ready for evaluation or
+	// checkpointing.
+	FinalParams []float64
+
+	// Leashed-SGD contention measurements.
+	FailedCAS      int64
+	DroppedUpdates int64
+
+	// ParameterVector memory accounting (Fig. 10): buffers live at peak
+	// and at exit, plus total heap allocations (allocations ≪ checkouts
+	// demonstrates recycling).
+	PeakLiveVectors  int64
+	FinalLiveVectors int64
+	BufferAllocs     int64
+	BufferReuses     int64
+
+	// MemSamples is the continuous live-buffer gauge sampled at every
+	// monitor tick (aligned with Trace.Points[1:]), reproducing the
+	// paper's ps-based continuous memory measurement.
+	MemSamples []int64
+}
+
+// MeanLiveVectors is the time-averaged live ParameterVector count.
+func (r *Result) MeanLiveVectors() float64 {
+	if len(r.MemSamples) == 0 {
+		return float64(r.FinalLiveVectors)
+	}
+	var sum int64
+	for _, v := range r.MemSamples {
+		sum += v
+	}
+	return float64(sum) / float64(len(r.MemSamples))
+}
+
+// TimePerUpdate is the paper's computational-efficiency metric.
+func (r *Result) TimePerUpdate() time.Duration {
+	if r.TotalUpdates == 0 {
+		return 0
+	}
+	return r.Elapsed / time.Duration(r.TotalUpdates)
+}
+
+// runCtx is the per-run shared state between workers and the monitor.
+type runCtx struct {
+	cfg Config
+	net *nn.Network
+	ds  *data.Dataset
+	d   int
+
+	updates atomic.Int64 // applied/published updates (the global order)
+	stop    atomic.Bool
+
+	failedCAS atomic.Int64
+	dropped   atomic.Int64
+
+	pool *paramvec.Pool
+
+	// Per-worker instrumentation, merged after the run.
+	hists []*metrics.Hist
+	tcs   []*metrics.DurationSampler
+	tus   []*metrics.DurationSampler
+}
+
+func newRuntime(cfg Config, net *nn.Network, ds *data.Dataset) *runCtx {
+	rt := &runCtx{
+		cfg:  cfg,
+		net:  net,
+		ds:   ds,
+		d:    net.ParamCount(),
+		pool: paramvec.NewPool(net.ParamCount()),
+	}
+	rt.hists = make([]*metrics.Hist, cfg.Workers)
+	rt.tcs = make([]*metrics.DurationSampler, cfg.Workers)
+	rt.tus = make([]*metrics.DurationSampler, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		rt.hists[i] = metrics.NewHist(cfg.StalenessBound)
+		rt.tcs[i] = &metrics.DurationSampler{}
+		rt.tus[i] = &metrics.DurationSampler{}
+	}
+	return rt
+}
+
+// budgetExhausted reports whether the update budget is spent.
+func (rt *runCtx) budgetExhausted() bool {
+	return rt.cfg.MaxUpdates > 0 && rt.updates.Load() >= rt.cfg.MaxUpdates
+}
+
+// Run executes one training run and returns its measurements. The dataset
+// must validate; the network's input dimension must match the dataset.
+func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if net.InDim() != ds.Dim() {
+		return nil, fmt.Errorf("sgd: network input %d != dataset dim %d", net.InDim(), ds.Dim())
+	}
+	if net.OutDim() != ds.Classes {
+		return nil, fmt.Errorf("sgd: network output %d != dataset classes %d", net.OutDim(), ds.Classes)
+	}
+	if cfg.Eta <= 0 {
+		return nil, fmt.Errorf("sgd: step size must be positive, got %v", cfg.Eta)
+	}
+	cfg = cfg.withDefaults(ds.Len())
+	rt := newRuntime(cfg, net, ds)
+
+	// θ0 ← N(0, 0.01) (paper's rand_init).
+	initVec := paramvec.New(rt.pool)
+	initVec.RandInit(rng.New(cfg.Seed), nn.DefaultSigma)
+
+	// snapshot copies a consistent view of the current parameters into
+	// dst; provided by the per-algorithm launcher.
+	var snapshot func(dst []float64)
+	var wg sync.WaitGroup
+	var cleanup func()
+
+	switch cfg.Algo {
+	case Seq, Async:
+		snapshot, cleanup = rt.launchAsync(&wg, initVec)
+	case Hogwild:
+		snapshot, cleanup = rt.launchHogwild(&wg, initVec)
+	case Leashed, LeashedAdaptive:
+		snapshot, cleanup = rt.launchLeashed(&wg, initVec)
+	case SyncLockstep:
+		snapshot, cleanup = rt.launchSync(&wg, initVec)
+	default:
+		return nil, fmt.Errorf("sgd: unknown algorithm %v", cfg.Algo)
+	}
+
+	res := rt.monitor(snapshot)
+	rt.stop.Store(true)
+	wg.Wait()
+	// Re-snapshot after the workers have quiesced: the monitor's last
+	// snapshot can predate updates that were in flight when the stop
+	// condition fired, and FinalParams must be the true final state
+	// (e.g. exactly MaxUpdates applications for deterministic replay).
+	snapshot(res.FinalParams)
+	if cleanup != nil {
+		cleanup()
+	}
+
+	// Merge per-worker instrumentation.
+	res.Staleness = metrics.NewHist(cfg.StalenessBound)
+	res.Tc, res.Tu = &metrics.DurationSampler{}, &metrics.DurationSampler{}
+	for i := 0; i < cfg.Workers; i++ {
+		res.Staleness.Merge(rt.hists[i])
+		res.Tc.Merge(rt.tcs[i])
+		res.Tu.Merge(rt.tus[i])
+	}
+	res.FailedCAS = rt.failedCAS.Load()
+	res.DroppedUpdates = rt.dropped.Load()
+	res.TotalUpdates = rt.updates.Load()
+	res.PeakLiveVectors = rt.pool.Peak()
+	res.FinalLiveVectors = rt.pool.Live()
+	res.BufferAllocs = rt.pool.Allocs()
+	res.BufferReuses = rt.pool.Reuses()
+	return res, nil
+}
+
+// monitor samples the loss on a cadence, maintains the trace, and decides
+// the outcome. It runs in the calling goroutine until a stop condition.
+func (rt *runCtx) monitor(snapshot func(dst []float64)) *Result {
+	cfg := rt.cfg
+	ws := rt.net.NewWorkspace()
+	evalIdx := make([]int, cfg.EvalSubset)
+	for i := range evalIdx {
+		evalIdx[i] = i
+	}
+	buf := make([]float64, rt.d)
+
+	res := &Result{}
+	snapshot(buf)
+	res.InitialLoss = rt.net.Loss(buf, rt.ds, evalIdx, ws)
+	res.TargetLoss = cfg.EpsilonFrac * res.InitialLoss
+	res.FinalLoss = res.InitialLoss
+	res.Trace.Add(0, 0, res.InitialLoss)
+
+	finish := func() *Result {
+		res.FinalParams = append([]float64(nil), buf...)
+		return res
+	}
+
+	start := time.Now()
+	ticker := time.NewTicker(cfg.EvalEvery)
+	defer ticker.Stop()
+	for range ticker.C {
+		elapsed := time.Since(start)
+		snapshot(buf)
+		upd := rt.updates.Load()
+		loss := rt.net.Loss(buf, rt.ds, evalIdx, ws)
+		res.Trace.Add(elapsed, upd, loss)
+		res.MemSamples = append(res.MemSamples, rt.pool.Live())
+		res.FinalLoss = loss
+		res.Elapsed = elapsed
+
+		// Crash = numerical instability (paper Sec. V-2): NaN/Inf in the
+		// loss or parameters, or loss exploding orders of magnitude above
+		// the initialization plateau (the softmax clamp keeps the
+		// cross-entropy finite even when the parameters have blown up).
+		blowUp := 20*res.InitialLoss + 10
+		if loss != loss || loss-loss != 0 || loss > blowUp || tensor.HasNaNOrInf(buf) {
+			res.Outcome = Crashed
+			return finish()
+		}
+		if cfg.EpsilonFrac > 0 && loss <= res.TargetLoss {
+			res.Outcome = Converged
+			res.TimeToTarget = elapsed
+			res.UpdatesToTarget = upd
+			return finish()
+		}
+		if (cfg.MaxTime > 0 && elapsed >= cfg.MaxTime) || rt.budgetExhausted() {
+			res.Outcome = Diverged
+			if cfg.EpsilonFrac == 0 {
+				// No target was set; budget exhaustion is the normal
+				// ending for profiling runs.
+				res.Outcome = Converged
+			}
+			return finish()
+		}
+	}
+	return finish()
+}

@@ -1,0 +1,113 @@
+package sgd
+
+import (
+	"sync"
+	"time"
+
+	"leashedsgd/internal/data"
+	"leashedsgd/internal/paramvec"
+	"leashedsgd/internal/tensor"
+)
+
+// launchSync starts lock-step synchronous SGD (SyncSGD, paper Sec. I): every
+// round, all m workers compute a gradient against the same parameter
+// snapshot, a coordinator averages the m gradients and takes one global step
+// — statistically equivalent to sequential SGD with an m× larger batch
+// [Zinkevich et al.; Gupta et al.], and rate-limited by the slowest worker
+// per round (the straggler penalty that motivates asynchronous variants).
+//
+// One round counts as one update in the global order; staleness is 0 by
+// construction.
+func (rt *runCtx) launchSync(wg *sync.WaitGroup, initVec *paramvec.Vector) (snapshot func([]float64), cleanup func()) {
+	cfg := rt.cfg
+	var mtx sync.Mutex // guards shared between rounds (monitor snapshots)
+	shared := initVec
+
+	type roundGrad struct {
+		grad []float64
+	}
+	start := make([]chan struct{}, cfg.Workers)
+	done := make(chan roundGrad, cfg.Workers)
+	grads := make([]*paramvec.Vector, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		start[w] = make(chan struct{}, 1)
+		grads[w] = paramvec.New(rt.pool)
+	}
+
+	// Workers: wait for the round signal, compute a gradient against the
+	// (round-immutable) shared vector, report back.
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ws := rt.net.NewWorkspace()
+			sampler := data.NewSampler(rt.ds.Len(), cfg.BatchSize, cfg.Seed, id)
+			tc := rt.tcs[id]
+			// No stop check here: the coordinator stops signaling when the
+			// run ends and closes the channel, so every received signal
+			// must be answered with a done send (deadlock freedom).
+			for range start[id] {
+				batch := sampler.Next()
+				zero(grads[id].Theta)
+				var t0 time.Time
+				if cfg.SampleTiming {
+					t0 = time.Now()
+				}
+				rt.net.BatchLossGrad(shared.Theta, grads[id].Theta, rt.ds, batch, ws)
+				if cfg.SampleTiming {
+					tc.Observe(time.Since(t0))
+				}
+				done <- roundGrad{grad: grads[id].Theta}
+			}
+		}(w)
+	}
+
+	// Coordinator: run rounds until stopped.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			for w := 0; w < cfg.Workers; w++ {
+				close(start[w])
+			}
+		}()
+		avg := make([]float64, rt.d)
+		tu := rt.tus[0]
+		hist := rt.hists[0]
+		for !rt.stop.Load() && !rt.budgetExhausted() {
+			for w := 0; w < cfg.Workers; w++ {
+				start[w] <- struct{}{}
+			}
+			tensor.Fill(avg, 0)
+			for w := 0; w < cfg.Workers; w++ {
+				g := <-done
+				tensor.Axpy(1/float64(cfg.Workers), g.grad, avg)
+			}
+			mtx.Lock()
+			var t0 time.Time
+			if cfg.SampleTiming {
+				t0 = time.Now()
+			}
+			shared.Update(avg, cfg.Eta)
+			if cfg.SampleTiming {
+				tu.Observe(time.Since(t0))
+			}
+			rt.updates.Add(1)
+			mtx.Unlock()
+			hist.Observe(0) // lock-step: no concurrent updates by construction
+		}
+	}()
+
+	snapshot = func(dst []float64) {
+		mtx.Lock()
+		copy(dst, shared.Theta)
+		mtx.Unlock()
+	}
+	cleanup = func() {
+		for w := 0; w < cfg.Workers; w++ {
+			grads[w].Release()
+		}
+		shared.Release()
+	}
+	return snapshot, cleanup
+}

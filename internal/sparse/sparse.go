@@ -1,0 +1,364 @@
+// Package sparse implements the workload class HOGWILD! was designed for
+// and that the paper's introduction contrasts with DL: smooth convex
+// objectives with sparse gradients (Recht et al. [36]). It provides sparse
+// binary logistic regression with per-coordinate atomic updates, the regime
+// where uncoordinated parallel SGD is near-collision-free and the √d
+// inconsistency penalty of dense problems does not bite.
+//
+// The package is self-contained (no dependency on the dense nn substrate):
+// a synthetic sparse dataset generator with planted ground truth, exact
+// sparse gradients, and three trainers — sequential, lock-based, and
+// HOGWILD!-style with component-wise CAS updates.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"leashedsgd/internal/atomicx"
+	"leashedsgd/internal/rng"
+)
+
+// Example is one sparse sample: feature indices, their values, and a binary
+// label. Indices are strictly increasing.
+type Example struct {
+	Idx   []int32
+	Val   []float64
+	Label int // 0 or 1
+}
+
+// Dataset is a sparse binary classification dataset over Dim features.
+type Dataset struct {
+	Dim      int
+	Examples []Example
+	// Truth is the planted weight vector (synthetic datasets only).
+	Truth []float64
+}
+
+// Validate reports the first structural violation.
+func (d *Dataset) Validate() error {
+	if d.Dim <= 0 {
+		return fmt.Errorf("sparse: non-positive dim %d", d.Dim)
+	}
+	for i, ex := range d.Examples {
+		if len(ex.Idx) != len(ex.Val) {
+			return fmt.Errorf("sparse: example %d: %d indices vs %d values", i, len(ex.Idx), len(ex.Val))
+		}
+		prev := int32(-1)
+		for _, j := range ex.Idx {
+			if j <= prev || int(j) >= d.Dim {
+				return fmt.Errorf("sparse: example %d: bad index %d", i, j)
+			}
+			prev = j
+		}
+		if ex.Label != 0 && ex.Label != 1 {
+			return fmt.Errorf("sparse: example %d: label %d", i, ex.Label)
+		}
+	}
+	return nil
+}
+
+// GenConfig parameterizes the synthetic generator.
+type GenConfig struct {
+	N    int // number of examples
+	Dim  int // feature dimension
+	NNZ  int // non-zeros per example
+	Seed uint64
+	// Noise is the probability of flipping the planted label.
+	Noise float64
+}
+
+// Generate plants a sparse ground-truth weight vector (10% dense) and draws
+// examples whose labels follow the planted logistic model, with optional
+// label noise. Deterministic per seed.
+func Generate(cfg GenConfig) *Dataset {
+	if cfg.N <= 0 || cfg.Dim <= 0 || cfg.NNZ <= 0 || cfg.NNZ > cfg.Dim {
+		panic("sparse: invalid GenConfig")
+	}
+	r := rng.New(cfg.Seed)
+	truth := make([]float64, cfg.Dim)
+	for j := range truth {
+		if r.Float64() < 0.1 {
+			truth[j] = 2 * r.NormFloat64()
+		}
+	}
+	ds := &Dataset{Dim: cfg.Dim, Truth: truth}
+	seen := make(map[int32]bool, cfg.NNZ)
+	for i := 0; i < cfg.N; i++ {
+		ex := Example{Idx: make([]int32, 0, cfg.NNZ), Val: make([]float64, 0, cfg.NNZ)}
+		for k := range seen {
+			delete(seen, k)
+		}
+		for len(ex.Idx) < cfg.NNZ {
+			j := int32(r.Intn(cfg.Dim))
+			if !seen[j] {
+				seen[j] = true
+				ex.Idx = append(ex.Idx, j)
+			}
+		}
+		sortInt32(ex.Idx)
+		var dot float64
+		for range ex.Idx {
+			ex.Val = append(ex.Val, 0) // placeholder, filled next
+		}
+		for k, j := range ex.Idx {
+			v := 1 + 0.5*r.NormFloat64()
+			ex.Val[k] = v
+			dot += truth[j] * v
+		}
+		p := 1 / (1 + math.Exp(-dot))
+		if r.Float64() < p {
+			ex.Label = 1
+		}
+		if cfg.Noise > 0 && r.Float64() < cfg.Noise {
+			ex.Label = 1 - ex.Label
+		}
+		ds.Examples = append(ds.Examples, ex)
+	}
+	return ds
+}
+
+// sortInt32 insertion-sorts small index slices (NNZ is small by design).
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// sigmoid is the logistic function.
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Loss returns the mean logistic loss of dense weights w on the dataset.
+func Loss(w []float64, ds *Dataset) float64 {
+	var total float64
+	for _, ex := range ds.Examples {
+		var dot float64
+		for k, j := range ex.Idx {
+			dot += w[j] * ex.Val[k]
+		}
+		// Numerically stable: log(1+e^{-z}) for y=1, log(1+e^{z}) for y=0.
+		z := dot
+		if ex.Label == 0 {
+			z = -z
+		}
+		if z > 0 {
+			total += math.Log1p(math.Exp(-z))
+		} else {
+			total += -z + math.Log1p(math.Exp(z))
+		}
+	}
+	return total / float64(len(ds.Examples))
+}
+
+// Grad computes the sparse gradient of one example at w and invokes emit for
+// each non-zero coordinate: emit(j, g_j) with g_j = (σ(w·x) − y)·x_j.
+func Grad(w []float64, ex Example, emit func(j int32, g float64)) {
+	var dot float64
+	for k, j := range ex.Idx {
+		dot += w[j] * ex.Val[k]
+	}
+	residual := sigmoid(dot) - float64(ex.Label)
+	for k, j := range ex.Idx {
+		emit(j, residual*ex.Val[k])
+	}
+}
+
+// TrainResult reports one sparse training run.
+type TrainResult struct {
+	FinalLoss       float64
+	Updates         int64
+	Collisions      int64 // CAS retries observed (HOGWILD! only)
+	FinalW          []float64
+	TargetMet       bool
+	UpdatesToTarget int64
+}
+
+// Mode selects the sparse trainer's synchronization.
+type Mode int
+
+const (
+	// ModeSeq is single-threaded SGD.
+	ModeSeq Mode = iota
+	// ModeLocked serializes every sparse update with a mutex.
+	ModeLocked
+	// ModeHogwild applies per-coordinate atomic adds with no other
+	// coordination — the original HOGWILD! scheme, collision-free with
+	// high probability when gradients are sparse.
+	ModeHogwild
+)
+
+// TrainConfig parameterizes a sparse run.
+type TrainConfig struct {
+	Mode       Mode
+	Workers    int
+	Eta        float64
+	Updates    int64 // total update budget across workers
+	Seed       uint64
+	TargetLoss float64 // evaluate-and-stop threshold (0 = run budget out)
+	EvalEvery  int64   // loss evaluations per worker-updates (default 256)
+}
+
+// Train runs sparse logistic regression SGD and returns the result.
+func Train(cfg TrainConfig, ds *Dataset) (*TrainResult, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Mode == ModeSeq {
+		cfg.Workers = 1
+	}
+	if cfg.Eta <= 0 {
+		return nil, fmt.Errorf("sparse: eta must be positive")
+	}
+	if cfg.Updates <= 0 {
+		cfg.Updates = 10000
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 256
+	}
+
+	switch cfg.Mode {
+	case ModeHogwild:
+		return trainHogwild(cfg, ds)
+	case ModeSeq, ModeLocked:
+		return trainLocked(cfg, ds)
+	default:
+		return nil, fmt.Errorf("sparse: unknown mode %d", cfg.Mode)
+	}
+}
+
+// trainLocked covers ModeSeq (workers=1, uncontended lock) and ModeLocked.
+func trainLocked(cfg TrainConfig, ds *Dataset) (*TrainResult, error) {
+	w := make([]float64, ds.Dim)
+	var mu sync.Mutex
+	var updates atomic.Int64
+	var targetAt atomic.Int64
+	targetAt.Store(-1)
+	stop := &atomic.Bool{}
+	var wg sync.WaitGroup
+	for wk := 0; wk < cfg.Workers; wk++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rng.NewStream(cfg.Seed, id)
+			n := len(ds.Examples)
+			sinceEval := int64(0)
+			for !stop.Load() {
+				u := updates.Add(1)
+				if u > cfg.Updates {
+					updates.Add(-1)
+					return
+				}
+				ex := ds.Examples[r.Intn(n)]
+				mu.Lock()
+				Grad(w, ex, func(j int32, g float64) {
+					w[j] -= cfg.Eta * g
+				})
+				mu.Unlock()
+				sinceEval++
+				if cfg.TargetLoss > 0 && sinceEval >= cfg.EvalEvery {
+					sinceEval = 0
+					mu.Lock()
+					l := Loss(w, ds)
+					mu.Unlock()
+					if l <= cfg.TargetLoss {
+						targetAt.CompareAndSwap(-1, u)
+						stop.Store(true)
+					}
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	res := &TrainResult{FinalLoss: Loss(w, ds), Updates: updates.Load(), FinalW: w}
+	if at := targetAt.Load(); at >= 0 {
+		res.TargetMet = true
+		res.UpdatesToTarget = at
+	}
+	return res, nil
+}
+
+// trainHogwild runs the lock-free component-atomic scheme over a []uint64
+// bit-pattern weight array.
+func trainHogwild(cfg TrainConfig, ds *Dataset) (*TrainResult, error) {
+	shared := make([]uint64, ds.Dim)
+	var updates atomic.Int64
+	var collisions atomic.Int64
+	var targetAt atomic.Int64
+	targetAt.Store(-1)
+	stop := &atomic.Bool{}
+	var wg sync.WaitGroup
+
+	// Reader for gradient computation: plain atomic loads, no snapshot —
+	// exactly HOGWILD!'s uncoordinated read.
+	read := func(j int32) float64 { return atomicx.LoadFloat64(&shared[j]) }
+
+	for wk := 0; wk < cfg.Workers; wk++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rng.NewStream(cfg.Seed, id)
+			n := len(ds.Examples)
+			sinceEval := int64(0)
+			wSnapshot := make([]float64, ds.Dim)
+			for !stop.Load() {
+				u := updates.Add(1)
+				if u > cfg.Updates {
+					updates.Add(-1)
+					return
+				}
+				ex := ds.Examples[r.Intn(n)]
+				var dot float64
+				for k, j := range ex.Idx {
+					dot += read(j) * ex.Val[k]
+				}
+				residual := sigmoid(dot) - float64(ex.Label)
+				for k, j := range ex.Idx {
+					delta := -cfg.Eta * residual * ex.Val[k]
+					// Count CAS retries as collision evidence.
+					for {
+						oldBits := atomic.LoadUint64(&shared[j])
+						newVal := math.Float64frombits(oldBits) + delta
+						if atomic.CompareAndSwapUint64(&shared[j], oldBits, math.Float64bits(newVal)) {
+							break
+						}
+						collisions.Add(1)
+					}
+				}
+				sinceEval++
+				if cfg.TargetLoss > 0 && sinceEval >= cfg.EvalEvery {
+					sinceEval = 0
+					for j := range wSnapshot {
+						wSnapshot[j] = atomicx.LoadFloat64(&shared[j])
+					}
+					if Loss(wSnapshot, ds) <= cfg.TargetLoss {
+						targetAt.CompareAndSwap(-1, u)
+						stop.Store(true)
+					}
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	w := make([]float64, ds.Dim)
+	for j := range w {
+		w[j] = atomicx.LoadFloat64(&shared[j])
+	}
+	res := &TrainResult{
+		FinalLoss:  Loss(w, ds),
+		Updates:    updates.Load(),
+		Collisions: collisions.Load(),
+		FinalW:     w,
+	}
+	if at := targetAt.Load(); at >= 0 {
+		res.TargetMet = true
+		res.UpdatesToTarget = at
+	}
+	return res, nil
+}

@@ -1,0 +1,260 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+
+	"leashedsgd/internal/rng"
+)
+
+func genSmall(seed uint64) *Dataset {
+	return Generate(GenConfig{N: 400, Dim: 200, NNZ: 8, Seed: seed, Noise: 0.02})
+}
+
+func TestGenerateShape(t *testing.T) {
+	ds := genSmall(1)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Examples) != 400 || ds.Dim != 200 {
+		t.Fatalf("shape: %d examples dim %d", len(ds.Examples), ds.Dim)
+	}
+	for i, ex := range ds.Examples {
+		if len(ex.Idx) != 8 {
+			t.Fatalf("example %d has %d non-zeros", i, len(ex.Idx))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := genSmall(7), genSmall(7)
+	for i := range a.Examples {
+		if a.Examples[i].Label != b.Examples[i].Label {
+			t.Fatalf("labels differ at %d", i)
+		}
+		for k := range a.Examples[i].Idx {
+			if a.Examples[i].Idx[k] != b.Examples[i].Idx[k] ||
+				a.Examples[i].Val[k] != b.Examples[i].Val[k] {
+				t.Fatalf("features differ at %d/%d", i, k)
+			}
+		}
+	}
+}
+
+func TestGenerateIndicesSortedUnique(t *testing.T) {
+	ds := genSmall(3)
+	for i, ex := range ds.Examples {
+		for k := 1; k < len(ex.Idx); k++ {
+			if ex.Idx[k] <= ex.Idx[k-1] {
+				t.Fatalf("example %d: indices not strictly increasing: %v", i, ex.Idx)
+			}
+		}
+	}
+}
+
+func TestGenerateLearnable(t *testing.T) {
+	// The planted truth itself must score well: loss(truth) << loss(0).
+	ds := genSmall(5)
+	zero := make([]float64, ds.Dim)
+	l0 := Loss(zero, ds)
+	lt := Loss(ds.Truth, ds)
+	if lt >= l0 {
+		t.Fatalf("planted weights loss %v not below zero-weights loss %v", lt, l0)
+	}
+	if math.Abs(l0-math.Ln2) > 1e-9 {
+		t.Fatalf("zero-weight loss = %v, want ln 2", l0)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	ds := genSmall(1)
+	ds.Examples[0].Idx[0] = int32(ds.Dim) // out of range
+	if err := ds.Validate(); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	ds = genSmall(1)
+	ds.Examples[0].Label = 3
+	if err := ds.Validate(); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	ds = genSmall(1)
+	ds.Examples[0].Val = ds.Examples[0].Val[:2]
+	if err := ds.Validate(); err == nil {
+		t.Fatal("idx/val length mismatch accepted")
+	}
+}
+
+// TestGradMatchesNumeric validates the sparse gradient against central
+// differences on the touched coordinates.
+func TestGradMatchesNumeric(t *testing.T) {
+	ds := genSmall(9)
+	r := rng.New(2)
+	w := make([]float64, ds.Dim)
+	for j := range w {
+		w[j] = 0.3 * r.NormFloat64()
+	}
+	single := &Dataset{Dim: ds.Dim, Examples: ds.Examples[:1]}
+	ex := single.Examples[0]
+	grad := map[int32]float64{}
+	Grad(w, ex, func(j int32, g float64) { grad[j] = g })
+	const h = 1e-6
+	for _, j := range ex.Idx {
+		orig := w[j]
+		w[j] = orig + h
+		lp := Loss(w, single)
+		w[j] = orig - h
+		lm := Loss(w, single)
+		w[j] = orig
+		numeric := (lp - lm) / (2 * h)
+		if math.Abs(numeric-grad[j]) > 1e-4*(1+math.Abs(numeric)) {
+			t.Fatalf("coord %d: analytic %v vs numeric %v", j, grad[j], numeric)
+		}
+	}
+	// Coordinates outside the support must have zero gradient.
+	touched := map[int32]bool{}
+	for _, j := range ex.Idx {
+		touched[j] = true
+	}
+	for j := range grad {
+		if !touched[j] {
+			t.Fatalf("gradient emitted for untouched coordinate %d", j)
+		}
+	}
+}
+
+func TestSeqTrainingConverges(t *testing.T) {
+	ds := genSmall(11)
+	res, err := Train(TrainConfig{Mode: ModeSeq, Eta: 0.1, Updates: 20000, Seed: 1}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss >= math.Ln2/2 {
+		t.Fatalf("sequential sparse SGD final loss %v", res.FinalLoss)
+	}
+}
+
+func TestLockedTrainingConverges(t *testing.T) {
+	ds := genSmall(13)
+	res, err := Train(TrainConfig{Mode: ModeLocked, Workers: 4, Eta: 0.1, Updates: 20000, Seed: 1}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss >= math.Ln2/2 {
+		t.Fatalf("locked sparse SGD final loss %v", res.FinalLoss)
+	}
+}
+
+func TestHogwildTrainingConverges(t *testing.T) {
+	ds := genSmall(17)
+	res, err := Train(TrainConfig{Mode: ModeHogwild, Workers: 4, Eta: 0.1, Updates: 20000, Seed: 1}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalLoss >= math.Ln2/2 {
+		t.Fatalf("HOGWILD! sparse SGD final loss %v", res.FinalLoss)
+	}
+}
+
+// TestHogwildCollisionsRare is the sparse-regime premise: with NNZ=8 over
+// dim=200, concurrent component updates almost never collide, so the CAS
+// retry count stays a tiny fraction of component writes.
+func TestHogwildCollisionsRare(t *testing.T) {
+	ds := genSmall(19)
+	res, err := Train(TrainConfig{Mode: ModeHogwild, Workers: 4, Eta: 0.05, Updates: 20000, Seed: 2}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	componentWrites := res.Updates * 8
+	if res.Collisions*100 > componentWrites {
+		t.Fatalf("collisions %d exceed 1%% of %d component writes — not the sparse regime",
+			res.Collisions, componentWrites)
+	}
+}
+
+func TestTargetLossStopsEarly(t *testing.T) {
+	ds := genSmall(23)
+	res, err := Train(TrainConfig{
+		Mode: ModeSeq, Eta: 0.2, Updates: 200000, Seed: 3,
+		TargetLoss: math.Ln2 * 0.8, EvalEvery: 64,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TargetMet {
+		t.Fatalf("target never met; final loss %v", res.FinalLoss)
+	}
+	if res.Updates >= 200000 {
+		t.Fatal("did not stop early")
+	}
+	if res.UpdatesToTarget <= 0 || res.UpdatesToTarget > res.Updates {
+		t.Fatalf("UpdatesToTarget = %d of %d", res.UpdatesToTarget, res.Updates)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	ds := genSmall(1)
+	if _, err := Train(TrainConfig{Mode: ModeSeq, Eta: 0}, ds); err == nil {
+		t.Fatal("eta=0 accepted")
+	}
+	bad := genSmall(1)
+	bad.Examples[0].Label = 9
+	if _, err := Train(TrainConfig{Mode: ModeSeq, Eta: 0.1}, bad); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+	if _, err := Train(TrainConfig{Mode: Mode(42), Eta: 0.1}, ds); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestUpdateBudgetRespected(t *testing.T) {
+	ds := genSmall(29)
+	res, err := Train(TrainConfig{Mode: ModeHogwild, Workers: 4, Eta: 0.1, Updates: 1000, Seed: 4}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 1000 {
+		t.Fatalf("updates = %d, want exactly 1000", res.Updates)
+	}
+}
+
+func TestRecoversPlantedSigns(t *testing.T) {
+	// After training, large-magnitude planted weights should have their
+	// signs recovered — a stronger semantic check than loss decrease.
+	ds := Generate(GenConfig{N: 2000, Dim: 100, NNZ: 10, Seed: 31, Noise: 0})
+	res, err := Train(TrainConfig{Mode: ModeSeq, Eta: 0.1, Updates: 60000, Seed: 5}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, agree := 0, 0
+	for j, tw := range ds.Truth {
+		if math.Abs(tw) > 2.0 {
+			checked++
+			if (tw > 0) == (res.FinalW[j] > 0) {
+				agree++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no large planted weights with this seed")
+	}
+	if float64(agree) < 0.8*float64(checked) {
+		t.Fatalf("sign recovery %d/%d", agree, checked)
+	}
+}
+
+func BenchmarkSparseGrad(b *testing.B) {
+	ds := genSmall(1)
+	w := make([]float64, ds.Dim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Grad(w, ds.Examples[i%len(ds.Examples)], func(j int32, g float64) {})
+	}
+}
+
+func BenchmarkHogwildSparse4Workers(b *testing.B) {
+	ds := genSmall(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Train(TrainConfig{Mode: ModeHogwild, Workers: 4, Eta: 0.1, Updates: 5000, Seed: uint64(i)}, ds)
+	}
+}

@@ -1,0 +1,287 @@
+// Package tensor implements the dense linear-algebra kernels the DL
+// substrate needs: vector ops, row-major matrices, GEMM variants, and the
+// im2col transform used by the convolutional layers.
+//
+// It fills the role Eigen plays in the paper's C++ framework. Kernels are
+// plain loops with blocking where it pays off; they allocate nothing so that
+// per-iteration wall-clock (the paper's computational-efficiency metric) is
+// dominated by arithmetic, not GC.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major matrix view over a flat float64 slice. The Data
+// slice is owned by the caller: layers bind Mats directly into the flattened
+// parameter vector, which is what lets the SGD algorithms treat the entire
+// model as a single θ array (the ParameterVector abstraction).
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMat allocates a zeroed Rows×Cols matrix.
+func NewMat(rows, cols int) Mat {
+	return Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatFrom wraps data as a Rows×Cols matrix without copying. It panics if the
+// slice length does not match.
+func MatFrom(rows, cols int, data []float64) Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: MatFrom %dx%d needs %d elements, got %d",
+			rows, cols, rows*cols, len(data)))
+	}
+	return Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (r, c).
+func (m Mat) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m Mat) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns row r as a slice view (no copy).
+func (m Mat) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Zero sets every element to 0.
+func (m Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Dot returns the inner product of a and b. It panics on length mismatch.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float64
+	// 4-way unrolled; the compiler keeps the accumulators in registers.
+	i := 0
+	var s0, s1, s2, s3 float64
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s + s0 + s1 + s2 + s3
+}
+
+// Axpy computes y += alpha * x element-wise. It panics on length mismatch.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, xv := range x {
+		y[i] += alpha * xv
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Copy copies src into dst; the slices must have equal length.
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("tensor: Copy length mismatch")
+	}
+	copy(dst, src)
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value of x (0 for empty x).
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// HasNaNOrInf reports whether x contains a NaN or ±Inf. The SGD runner uses
+// it for the paper's "Crash" detection (numerical instability).
+func HasNaNOrInf(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatMul computes dst = a * b. Shapes: a is m×k, b is k×n, dst is m×n.
+// dst must not alias a or b.
+func MatMul(dst, a, b Mat) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)*(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	// ikj loop order: streams through b and dst rows sequentially.
+	for i := 0; i < a.Rows; i++ {
+		dRow := dst.Row(i)
+		aRow := a.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := aRow[k]
+			if aik == 0 {
+				continue
+			}
+			bRow := b.Row(k)
+			Axpy(aik, bRow, dRow)
+		}
+	}
+}
+
+// MatVec computes dst = a * x for a m×k matrix and length-k vector; dst has
+// length m and must not alias x.
+func MatVec(dst []float64, a Mat, x []float64) {
+	if len(x) != a.Cols || len(dst) != a.Rows {
+		panic("tensor: MatVec shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		dst[i] = Dot(a.Row(i), x)
+	}
+}
+
+// MatTVec computes dst = aᵀ * x for a m×k matrix and length-m vector; dst
+// has length k and must not alias x. dst is overwritten.
+func MatTVec(dst []float64, a Mat, x []float64) {
+	if len(x) != a.Rows || len(dst) != a.Cols {
+		panic("tensor: MatTVec shape mismatch")
+	}
+	Fill(dst, 0)
+	for i := 0; i < a.Rows; i++ {
+		Axpy(x[i], a.Row(i), dst)
+	}
+}
+
+// OuterAdd computes a += alpha * x * yᵀ (rank-1 update) for a m×k matrix,
+// length-m x and length-k y.
+func OuterAdd(a Mat, alpha float64, x, y []float64) {
+	if len(x) != a.Rows || len(y) != a.Cols {
+		panic("tensor: OuterAdd shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		Axpy(alpha*x[i], y, a.Row(i))
+	}
+}
+
+// Im2Col lowers a (channels, h, w) image stored channel-major in src into the
+// column matrix dst so that a valid, stride-1 convolution with k×k kernels
+// becomes a GEMM. dst must be (channels*k*k) × (outH*outW) where
+// outH = h-k+1, outW = w-k+1. Column c of dst holds the receptive field of
+// output pixel c, ordered channel, then kernel row, then kernel col.
+func Im2Col(dst Mat, src []float64, channels, h, w, k int) {
+	outH, outW := h-k+1, w-k+1
+	if outH <= 0 || outW <= 0 {
+		panic("tensor: Im2Col kernel larger than input")
+	}
+	if dst.Rows != channels*k*k || dst.Cols != outH*outW {
+		panic("tensor: Im2Col dst shape mismatch")
+	}
+	if len(src) != channels*h*w {
+		panic("tensor: Im2Col src length mismatch")
+	}
+	row := 0
+	for c := 0; c < channels; c++ {
+		chanBase := c * h * w
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				dRow := dst.Row(row)
+				row++
+				idx := 0
+				for oy := 0; oy < outH; oy++ {
+					srcOff := chanBase + (oy+ky)*w + kx
+					copy(dRow[idx:idx+outW], src[srcOff:srcOff+outW])
+					idx += outW
+				}
+			}
+		}
+	}
+}
+
+// Col2ImAdd scatter-adds the column matrix src (the gradient with respect to
+// an Im2Col output) back into the (channels, h, w) image dst, accumulating
+// overlapping contributions. Shapes mirror Im2Col.
+func Col2ImAdd(dst []float64, src Mat, channels, h, w, k int) {
+	outH, outW := h-k+1, w-k+1
+	if src.Rows != channels*k*k || src.Cols != outH*outW {
+		panic("tensor: Col2ImAdd src shape mismatch")
+	}
+	if len(dst) != channels*h*w {
+		panic("tensor: Col2ImAdd dst length mismatch")
+	}
+	row := 0
+	for c := 0; c < channels; c++ {
+		chanBase := c * h * w
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				sRow := src.Row(row)
+				row++
+				idx := 0
+				for oy := 0; oy < outH; oy++ {
+					dstOff := chanBase + (oy+ky)*w + kx
+					for ox := 0; ox < outW; ox++ {
+						dst[dstOff+ox] += sRow[idx]
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// ArgMax returns the index of the largest element of x; ties resolve to the
+// lowest index. It panics on empty input.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		panic("tensor: ArgMax of empty slice")
+	}
+	best, bestV := 0, x[0]
+	for i, v := range x[1:] {
+		if v > bestV {
+			best, bestV = i+1, v
+		}
+	}
+	return best
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,208 @@
+// Package leashedsgd is a Go implementation of Leashed-SGD — lock-free
+// consistent asynchronous shared-memory parallel SGD — together with the
+// baselines and the deep-learning substrate it is evaluated against, from:
+//
+//	K. Bäckström, I. Walulya, M. Papatriantafilou, P. Tsigas.
+//	"Consistent Lock-free Parallel Stochastic Gradient Descent for Fast
+//	and Stable Convergence", IPDPS 2021 (arXiv:2102.09032).
+//
+// The package is the public facade: model construction (MLP/CNN bound to a
+// flat parameter vector), dataset loading/generation, and the Train entry
+// point running any of the algorithms — SEQ, lock-based ASYNC, HOGWILD!, and
+// Leashed-SGD with a configurable persistence bound.
+//
+// Quick start:
+//
+//	model := leashedsgd.MLP(28*28, []int{128, 128, 128}, 10)
+//	ds := leashedsgd.SyntheticMNIST(4096, 1)
+//	res, err := leashedsgd.Train(leashedsgd.Config{
+//	        Algo:        leashedsgd.Leashed,
+//	        Workers:     8,
+//	        Eta:         0.05,
+//	        BatchSize:   32,
+//	        Persistence: leashedsgd.PersistenceInf,
+//	        EpsilonFrac: 0.5,
+//	        MaxTime:     30 * time.Second,
+//	}, model, ds)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced table and figure.
+package leashedsgd
+
+import (
+	"fmt"
+	"time"
+
+	"leashedsgd/internal/checkpoint"
+	"leashedsgd/internal/data"
+	"leashedsgd/internal/nn"
+	"leashedsgd/internal/rng"
+	"leashedsgd/internal/sgd"
+)
+
+// Algorithm selects the parallel SGD variant. See the constants below.
+type Algorithm = sgd.Algorithm
+
+// Algorithm values.
+const (
+	// Seq is sequential SGD.
+	Seq = sgd.Seq
+	// Async is the lock-based AsyncSGD baseline (paper Algorithm 2).
+	Async = sgd.Async
+	// Hogwild is the synchronization-free baseline (paper Algorithm 4).
+	Hogwild = sgd.Hogwild
+	// Leashed is Leashed-SGD (paper Algorithm 3).
+	Leashed = sgd.Leashed
+	// LeashedAdaptive is Leashed-SGD with a contention-adaptive
+	// persistence bound (extension; see DESIGN.md §6).
+	LeashedAdaptive = sgd.LeashedAdaptive
+	// Sync is lock-step synchronous SGD with per-round gradient averaging
+	// (the SyncSGD scheme the paper's introduction positions the
+	// asynchronous family against).
+	Sync = sgd.SyncLockstep
+)
+
+// PersistenceInf configures an unbounded LAU-SPC retry loop (LSH_ps∞).
+const PersistenceInf = sgd.PersistenceInf
+
+// Config controls a training run; see the field documentation in the
+// underlying type for the full contract.
+type Config = sgd.Config
+
+// Result carries the measurements of a finished run: outcome
+// (Converged/Diverged/Crashed), wall-clock and statistical efficiency, the
+// loss trace, staleness distribution, contention counters and memory
+// accounting.
+type Result = sgd.Result
+
+// Outcome classifies a finished run.
+type Outcome = sgd.Outcome
+
+// Outcome values.
+const (
+	Converged = sgd.Converged
+	Diverged  = sgd.Diverged
+	Crashed   = sgd.Crashed
+)
+
+// Dataset is an in-memory labeled image dataset.
+type Dataset = data.Dataset
+
+// Model wraps a network architecture whose parameters live in a single flat
+// vector — the ParameterVector abstraction the algorithms operate on.
+type Model struct {
+	net *nn.Network
+}
+
+// MLP builds a multilayer perceptron: inputDim → hidden... (Dense+ReLU) →
+// classes (Dense). The paper's MLP is MLP(784, []int{128,128,128}, 10).
+func MLP(inputDim int, hidden []int, classes int) *Model {
+	return &Model{net: nn.NewMLP(inputDim, hidden, classes)}
+}
+
+// PaperMLP is the exact Table II architecture (d = 134,794).
+func PaperMLP() *Model { return &Model{net: nn.NewPaperMLP()} }
+
+// PaperCNN is the exact Table III architecture (d = 27,354).
+func PaperCNN() *Model { return &Model{net: nn.NewPaperCNN()} }
+
+// SmallMLP and SmallCNN are laptop-scale variants of the paper
+// architectures, convenient for experimentation on few cores.
+func SmallMLP(inputDim, classes int) *Model {
+	return &Model{net: nn.NewSmallMLP(inputDim, classes)}
+}
+
+// SmallCNN returns the reduced conv→pool→conv→pool→dense architecture for
+// 28×28 inputs.
+func SmallCNN() *Model { return &Model{net: nn.NewSmallCNN()} }
+
+// ParamCount returns d, the flat parameter dimension.
+func (m *Model) ParamCount() int { return m.net.ParamCount() }
+
+// Arch returns a human-readable architecture description.
+func (m *Model) Arch() string { return m.net.Arch() }
+
+// SyntheticMNIST generates the MNIST-shaped synthetic dataset used when the
+// real files are unavailable (28×28, 10 balanced classes, deterministic per
+// seed). See DESIGN.md §4 for the substitution rationale.
+func SyntheticMNIST(samples int, seed uint64) *Dataset {
+	return data.GenerateSynthetic(data.DefaultSyntheticConfig(samples, seed))
+}
+
+// LoadMNIST loads the real MNIST training set (IDX files) from dir.
+func LoadMNIST(dir string) (*Dataset, error) {
+	return data.LoadMNISTDir(dir)
+}
+
+// LoadOrSynthesizeMNIST returns real MNIST from dir when present, otherwise
+// a synthetic dataset of the given size; the bool reports which.
+func LoadOrSynthesizeMNIST(dir string, samples int, seed uint64) (*Dataset, bool) {
+	return data.LoadOrGenerate(dir, samples, seed)
+}
+
+// Train runs one training run of the configured algorithm on the model and
+// dataset. It blocks until convergence, crash, or budget exhaustion, and
+// returns the full measurement record.
+func Train(cfg Config, m *Model, ds *Dataset) (*Result, error) {
+	if m == nil || m.net == nil {
+		return nil, fmt.Errorf("leashedsgd: nil model")
+	}
+	if ds == nil {
+		return nil, fmt.Errorf("leashedsgd: nil dataset")
+	}
+	return sgd.Run(cfg, m.net, ds)
+}
+
+// Evaluate computes the mean cross-entropy loss and classification accuracy
+// of the given flat parameters on a dataset. Parameters typically come from
+// a prior Train via Result snapshots, or from custom training loops built on
+// the model; for end-to-end runs prefer Train, which evaluates internally.
+func (m *Model) Evaluate(params []float64, ds *Dataset) (loss, accuracy float64, err error) {
+	if len(params) != m.net.ParamCount() {
+		return 0, 0, fmt.Errorf("leashedsgd: params length %d, want %d", len(params), m.net.ParamCount())
+	}
+	ws := m.net.NewWorkspace()
+	return m.net.Loss(params, ds, nil, ws), m.net.Accuracy(params, ds, nil, ws), nil
+}
+
+// InitParams returns a freshly initialized flat parameter vector
+// (θ ← N(0, 0.01), the paper's rand_init) for use with Evaluate or custom
+// loops.
+func (m *Model) InitParams(seed uint64) []float64 {
+	p := make([]float64, m.net.ParamCount())
+	m.net.Init(p, rng.New(seed), nn.DefaultSigma)
+	return p
+}
+
+// SaveCheckpoint persists a trained model (the result's final parameters
+// plus provenance metadata) to path; see LoadCheckpoint.
+func SaveCheckpoint(path string, m *Model, res *Result) error {
+	if m == nil || res == nil {
+		return fmt.Errorf("leashedsgd: nil model or result")
+	}
+	if len(res.FinalParams) != m.net.ParamCount() {
+		return fmt.Errorf("leashedsgd: result params %d do not match model d=%d",
+			len(res.FinalParams), m.net.ParamCount())
+	}
+	return checkpoint.Save(path, checkpoint.Meta{
+		Arch:      m.net.Arch(),
+		Dim:       m.net.ParamCount(),
+		FinalLoss: res.FinalLoss,
+		Updates:   res.TotalUpdates,
+		SavedAt:   time.Now(),
+	}, res.FinalParams)
+}
+
+// LoadCheckpoint loads parameters saved by SaveCheckpoint, verifying they
+// match the model's dimension.
+func LoadCheckpoint(path string, m *Model) ([]float64, error) {
+	meta, params, err := checkpoint.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if meta.Dim != m.net.ParamCount() {
+		return nil, fmt.Errorf("leashedsgd: checkpoint d=%d does not match model d=%d (%s)",
+			meta.Dim, m.net.ParamCount(), meta.Arch)
+	}
+	return params, nil
+}
