@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"leashedsgd/internal/harness"
+	"leashedsgd/internal/paramvec"
 	"leashedsgd/internal/queuemodel"
 	"leashedsgd/internal/sgd"
 )
@@ -194,6 +196,94 @@ func BenchmarkFig10Memory(b *testing.B) {
 		if i == 0 {
 			mlp.Render(os.Stdout)
 			cnn.Render(os.Stdout)
+		}
+	}
+}
+
+// shardContentionRound drives the sharded LAU-SPC publish protocol with
+// `workers` goroutines for itersPerWorker full-vector publishes each and
+// returns the failed-CAS and successful-publish counts. The Gosched between
+// the expected-pointer read and the CAS widens the conflict window to model
+// the preemption an oversubscribed multicore run experiences naturally —
+// without it a single-core host schedules the window atomically and every
+// shard count measures ~0 failures.
+func shardContentionRound(workers, shards, dim, itersPerWorker int) (failed, published int64) {
+	ss := paramvec.NewSharded(dim, shards)
+	ss.PublishInit(make([]float64, dim))
+	fails := make([]int64, workers)
+	pubs := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			S := ss.NumShards()
+			for i := 0; i < itersPerWorker; i++ {
+				for k := 0; k < S; k++ {
+					s := (id + k) % S
+					nv := ss.NewShardVec(s)
+					for {
+						cur := ss.Latest(s)
+						nv.CopyFrom(cur)
+						cur.StopReading()
+						nv.T++
+						runtime.Gosched()
+						if ss.TryPublish(s, cur, nv) {
+							pubs[id]++
+							break
+						}
+						fails[id]++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	ss.Retire()
+	for w := 0; w < workers; w++ {
+		failed += fails[w]
+		published += pubs[w]
+	}
+	return failed, published
+}
+
+// BenchmarkShardSweepContention sweeps the shard count at 1/2/4/8×
+// GOMAXPROCS workers over the raw publish protocol and reports the failed-CAS
+// rate per successful publish. The total parameter mass moved per iteration
+// is constant across shard counts (S publishes of d/S components), so the
+// sweep isolates the contention effect: the rate should fall ~1/S as shards
+// increase, the tentpole claim of the sharded publication layer.
+func BenchmarkShardSweepContention(b *testing.B) {
+	const dim = 1024
+	for _, mult := range []int{1, 2, 4, 8} {
+		workers := mult * runtime.GOMAXPROCS(0)
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("workers=%d/shards=%d", workers, shards), func(b *testing.B) {
+				var failed, published int64
+				for i := 0; i < b.N; i++ {
+					f, p := shardContentionRound(workers, shards, dim, 400)
+					failed += f
+					published += p
+				}
+				if published > 0 {
+					b.ReportMetric(float64(failed)/float64(published), "failedCAS/publish")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkShardSweepTraining regenerates the harness-level shard sweep: a
+// full Leashed-SGD training run per shard count at oversubscribed
+// parallelism, reporting contention, staleness and efficiency per row.
+func BenchmarkShardSweepTraining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := benchScale()
+		sc.MaxTime = 4 * time.Second
+		m := 2 * runtime.GOMAXPROCS(0)
+		tbl := harness.ShardSweep(sc, m, []int{1, 2, 4, 8}, sgd.PersistenceInf)
+		if i == 0 {
+			tbl.Render(os.Stdout)
 		}
 	}
 }

@@ -28,6 +28,7 @@ import (
 
 	"leashedsgd/internal/harness"
 	"leashedsgd/internal/report"
+	"leashedsgd/internal/sgd"
 )
 
 func main() {
@@ -52,6 +53,7 @@ func main() {
 	threadsFlag := fs.String("threads", "", "comma-separated thread counts (default depends on cores)")
 	trials := fs.Int("trials", 0, "repetitions per cell (0 = scale default)")
 	budget := fs.Duration("budget", 0, "per-run time budget (0 = scale default)")
+	shardsFlag := fs.String("shards", "1,2,4,8", "comma-separated shard counts for the shards step")
 	csvPath := fs.String("csv", "", "append every table as CSV to this file")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -91,6 +93,11 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	shardCounts, err := parseThreads(*shardsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -shards:", err)
+		os.Exit(2)
+	}
 
 	emit := func(tables ...*report.Table) {
 		for _, t := range tables {
@@ -110,7 +117,7 @@ func main() {
 		}
 	}
 
-	steps := []string{"s1", "s1-eta", "s2", "s3", "s4", "s5", "fig9"}
+	steps := []string{"s1", "s1-eta", "s2", "s3", "s4", "s5", "fig9", "shards"}
 	if cmd == "run" {
 		if fs.NArg() != 1 {
 			fmt.Fprintf(os.Stderr, "run needs exactly one step (%s)\n", strings.Join(steps, ", "))
@@ -122,12 +129,12 @@ func main() {
 	start := time.Now()
 	for _, step := range steps {
 		fmt.Printf("### step %s (scale=%s, arch=%s, trials=%d)\n\n", step, *scaleName, sc.Arch, sc.Trials)
-		runStep(step, sc, threads, emit)
+		runStep(step, sc, threads, shardCounts, emit)
 	}
 	fmt.Printf("total experiment time: %v\n", time.Since(start).Round(time.Second))
 }
 
-func runStep(step string, sc harness.Scale, threads []int, emit func(...*report.Table)) {
+func runStep(step string, sc harness.Scale, threads, shardCounts []int, emit func(...*report.Table)) {
 	specs := harness.StandardAlgos()
 	switch step {
 	case "s1":
@@ -164,6 +171,11 @@ func runStep(step string, sc harness.Scale, threads []int, emit func(...*report.
 		emit(stal)
 	case "s5":
 		emit(harness.Fig10Memory(sc, specs, threads))
+	case "shards":
+		// Shard-count contention sweep at the oversubscribed worker count
+		// (the regime where single-chain CAS contention peaks).
+		m := threads[len(threads)-1] * 2
+		emit(harness.ShardSweep(sc, m, shardCounts, sgd.PersistenceInf))
 	case "fig9":
 		archs := []harness.Arch{harness.SmallMLP, harness.SmallCNN}
 		if sc.Arch == harness.PaperMLP || sc.Arch == harness.PaperCNN {
@@ -221,9 +233,9 @@ func parseArch(s string) (harness.Arch, error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  leashed run <s1|s1-eta|s2|s3|s4|s5|fig9> [flags]
+  leashed run <s1|s1-eta|s2|s3|s4|s5|fig9|shards> [flags]
   leashed run-all [flags]
-  leashed train [-algo LSH] [-arch mlp] [-workers N] [-json] [-ckpt FILE] ...
+  leashed train [-algo LSH] [-arch mlp] [-workers N] [-shards S] [-json] [-ckpt FILE] ...
   leashed table1
-flags: -scale small|paper -arch A -threads 1,2,4 -trials N -budget DUR -csv FILE`)
+flags: -scale small|paper -arch A -threads 1,2,4 -trials N -budget DUR -shards 1,2,4,8 -csv FILE`)
 }

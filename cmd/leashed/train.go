@@ -22,6 +22,7 @@ func runTrain(args []string) {
 	eta := fs.Float64("eta", 0.05, "step size")
 	batch := fs.Int("batch", 16, "mini-batch size")
 	persistence := fs.Int("persistence", leashedsgd.PersistenceInf, "LSH persistence bound Tp (-1 = inf)")
+	shards := fs.Int("shards", 1, "published-vector shard count (LSH/HOG; 1 = paper's single chain)")
 	epsilon := fs.Float64("epsilon", 0.25, "convergence target as fraction of initial loss (0 = run to budget)")
 	budget := fs.Duration("budget", 60*time.Second, "time budget")
 	samples := fs.Int("samples", 1024, "dataset size")
@@ -76,6 +77,7 @@ func runTrain(args []string) {
 		Eta:             *eta,
 		BatchSize:       *batch,
 		Persistence:     *persistence,
+		Shards:          *shards,
 		EpsilonFrac:     *epsilon,
 		MaxTime:         *budget,
 		Seed:            *seed,
@@ -112,6 +114,13 @@ func runTrain(args []string) {
 			"failed_cas":        res.FailedCAS,
 			"dropped_updates":   res.DroppedUpdates,
 			"peak_live_vectors": res.PeakLiveVectors,
+			"shards":            res.Shards,
+		}
+		if res.ShardFailedCAS != nil {
+			out["shard_failed_cas"] = res.ShardFailedCAS
+			out["shard_dropped"] = res.ShardDropped
+			out["shard_publishes"] = res.ShardPublishes
+			out["shard_staleness_mean"] = res.ShardStalenessMean
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -1,0 +1,3 @@
+module leashedsgd
+
+go 1.24

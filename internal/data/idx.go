@@ -16,6 +16,18 @@ const (
 	idxTypeUint8 = 0x08
 )
 
+// Header plausibility bounds: IDX dimension fields are attacker-controlled
+// 32-bit values, so the readers must reject oversized claims *before*
+// allocating and must never trust them for up-front allocation sizes (a
+// 20-byte truncated file must not make us reserve gigabytes).
+const (
+	// maxIDXItems bounds the item count of one file (MNIST: 60,000).
+	maxIDXItems = 1 << 24
+	// maxIDXPixels bounds h×w of one image (MNIST: 784). Each factor is
+	// checked first so the product cannot overflow int.
+	maxIDXPixels = 1 << 20
+)
+
 // WriteIDXImages writes images as an IDX3 uint8 tensor (count, h, w),
 // the exact format of train-images-idx3-ubyte. Pixels must be in [0,1] and
 // are quantized to bytes.
@@ -84,20 +96,29 @@ func ReadIDXImages(r io.Reader) (images [][]float64, h, w int, err error) {
 		return nil, 0, 0, fmt.Errorf("data: reading IDX dims: %w", err)
 	}
 	count, hh, ww := int(dims[0]), int(dims[1]), int(dims[2])
-	if hh <= 0 || ww <= 0 || count < 0 || hh*ww > 1<<20 {
-		return nil, 0, 0, fmt.Errorf("data: implausible IDX dims %dx%dx%d", count, hh, ww)
+	// Both guards are needed: the per-factor caps keep the product within
+	// int64 even for (2^32-1)×(2^32-1) claims, and the int64 product keeps
+	// 2^20×2^20 claims from wrapping a 32-bit int.
+	if hh <= 0 || ww <= 0 || hh > maxIDXPixels || ww > maxIDXPixels ||
+		int64(hh)*int64(ww) > maxIDXPixels {
+		return nil, 0, 0, fmt.Errorf("data: implausible IDX image dims %dx%d", hh, ww)
 	}
-	images = make([][]float64, count)
+	if count < 0 || count > maxIDXItems {
+		return nil, 0, 0, fmt.Errorf("data: implausible IDX image count %d", count)
+	}
+	// Grow incrementally: the count claim sizes the loop, never a bulk
+	// allocation, so truncated input fails after reading at most one image.
+	images = make([][]float64, 0, min(count, 4096))
 	buf := make([]byte, hh*ww)
 	for i := 0; i < count; i++ {
 		if _, err = io.ReadFull(r, buf); err != nil {
-			return nil, 0, 0, fmt.Errorf("data: reading image %d: %w", i, err)
+			return nil, 0, 0, fmt.Errorf("data: reading image %d of %d: %w", i, count, err)
 		}
 		img := make([]float64, hh*ww)
 		for j, b := range buf {
 			img[j] = float64(b) / 255
 		}
-		images[i] = img
+		images = append(images, img)
 	}
 	return images, hh, ww, nil
 }
@@ -111,17 +132,27 @@ func ReadIDXLabels(r io.Reader) ([]int, error) {
 	if magic[0] != 0 || magic[1] != 0 || magic[2] != idxTypeUint8 || magic[3] != 1 {
 		return nil, fmt.Errorf("data: bad IDX1 magic %v", magic)
 	}
-	var count uint32
-	if err := binary.Read(r, binary.BigEndian, &count); err != nil {
+	var rawCount uint32
+	if err := binary.Read(r, binary.BigEndian, &rawCount); err != nil {
 		return nil, fmt.Errorf("data: reading IDX count: %w", err)
 	}
-	buf := make([]byte, count)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, fmt.Errorf("data: reading labels: %w", err)
+	count := int(rawCount)
+	if count > maxIDXItems {
+		return nil, fmt.Errorf("data: implausible IDX label count %d", count)
 	}
-	labels := make([]int, count)
-	for i, b := range buf {
-		labels[i] = int(b)
+	// Chunked reads keep the allocation proportional to the bytes actually
+	// present, not to the header's claim.
+	labels := make([]int, 0, min(count, 1<<16))
+	buf := make([]byte, 1<<16)
+	for remaining := count; remaining > 0; {
+		n := min(remaining, len(buf))
+		if _, err := io.ReadFull(r, buf[:n]); err != nil {
+			return nil, fmt.Errorf("data: reading labels (%d of %d left): %w", remaining, count, err)
+		}
+		for _, b := range buf[:n] {
+			labels = append(labels, int(b))
+		}
+		remaining -= n
 	}
 	return labels, nil
 }

@@ -1,0 +1,172 @@
+package data
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// validIDXImages builds a well-formed IDX3 file via the writer.
+func validIDXImages(t testing.TB, n, h, w int) []byte {
+	t.Helper()
+	imgs := make([][]float64, n)
+	for i := range imgs {
+		img := make([]float64, h*w)
+		for j := range img {
+			img[j] = float64((i+j)%256) / 255
+		}
+		imgs[i] = img
+	}
+	var buf bytes.Buffer
+	if err := WriteIDXImages(&buf, imgs, h, w); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func validIDXLabels(t testing.TB, n int) []byte {
+	t.Helper()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	var buf bytes.Buffer
+	if err := WriteIDXLabels(&buf, labels); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// idxHeader builds an arbitrary IDX3 image header for malformed-input cases.
+func idxHeader(magic [4]byte, dims ...uint32) []byte {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	binary.Write(&buf, binary.BigEndian, dims)
+	return buf.Bytes()
+}
+
+// TestReadIDXImagesRejectsMalformed feeds the reader the attack shapes the
+// fuzz target generalizes: bad magic, truncation at every stage, and
+// oversized dimension claims. Each must return an error — never panic and
+// never allocate per the claim.
+func TestReadIDXImagesRejectsMalformed(t *testing.T) {
+	good := validIDXImages(t, 3, 4, 5)
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"short magic", []byte{0, 0}},
+		{"wrong type code", idxHeader([4]byte{0, 0, 0x0D, 3}, 1, 4, 5)},
+		{"wrong rank", idxHeader([4]byte{0, 0, 0x08, 1}, 1, 4, 5)},
+		{"nonzero lead bytes", idxHeader([4]byte{1, 0, 0x08, 3}, 1, 4, 5)},
+		{"truncated dims", idxHeader([4]byte{0, 0, 0x08, 3}, 1)},
+		{"zero height", idxHeader([4]byte{0, 0, 0x08, 3}, 1, 0, 5)},
+		{"zero width", idxHeader([4]byte{0, 0, 0x08, 3}, 1, 4, 0)},
+		{"pixel-count bomb", idxHeader([4]byte{0, 0, 0x08, 3}, 1, 1<<16, 1<<16)},
+		// (2^32-1)² would wrap past an int64 product-only check.
+		{"dim overflow bomb", idxHeader([4]byte{0, 0, 0x08, 3}, 1, 0xFFFFFFFF, 0xFFFFFFFF)},
+		{"image-count bomb", idxHeader([4]byte{0, 0, 0x08, 3}, 0xFFFFFFFF, 4, 5)},
+		{"claims more images than present", good[:len(good)-1]},
+		{"header only, huge claim", idxHeader([4]byte{0, 0, 0x08, 3}, 1<<20, 28, 28)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, _, err := ReadIDXImages(bytes.NewReader(c.in)); err == nil {
+				t.Fatalf("malformed input accepted")
+			}
+		})
+	}
+}
+
+func TestReadIDXLabelsRejectsMalformed(t *testing.T) {
+	good := validIDXLabels(t, 7)
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"wrong rank", idxHeader([4]byte{0, 0, 0x08, 3}, 7)},
+		{"truncated count", []byte{0, 0, 0x08, 1, 0, 0}},
+		{"label-count bomb", idxHeader([4]byte{0, 0, 0x08, 1}, 0xFFFFFFFF)},
+		{"claims more labels than present", good[:len(good)-2]},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadIDXLabels(bytes.NewReader(c.in)); err == nil {
+				t.Fatalf("malformed input accepted")
+			}
+		})
+	}
+}
+
+func TestReadIDXImagesRoundTrip(t *testing.T) {
+	in := validIDXImages(t, 3, 4, 5)
+	imgs, h, w, err := ReadIDXImages(bytes.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) != 3 || h != 4 || w != 5 {
+		t.Fatalf("got %d images of %dx%d", len(imgs), h, w)
+	}
+	for i, img := range imgs {
+		if len(img) != h*w {
+			t.Fatalf("image %d has %d pixels", i, len(img))
+		}
+		for _, p := range img {
+			if p < 0 || p > 1 {
+				t.Fatalf("pixel %v out of [0,1]", p)
+			}
+		}
+	}
+}
+
+// FuzzReadIDX drives both IDX readers with arbitrary bytes: they must return
+// (possibly with an error) without panicking or over-allocating, and any
+// successfully parsed image set must be internally consistent. The corpus
+// seeds valid files plus the malformed shapes above so the fuzzer starts at
+// the interesting boundaries.
+func FuzzReadIDX(f *testing.F) {
+	f.Add(validIDXImages(f, 2, 3, 3))
+	f.Add(validIDXLabels(f, 5))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0x08, 3})
+	f.Add(idxHeader([4]byte{0, 0, 0x08, 3}, 0xFFFFFFFF, 0xFFFFFFFF, 0xFFFFFFFF))
+	f.Add(idxHeader([4]byte{0, 0, 0x08, 3}, 1<<20, 28, 28))
+	f.Add(idxHeader([4]byte{0, 0, 0x08, 1}, 0xFFFFFFFF))
+	f.Add(idxHeader([4]byte{0, 0, 0x0D, 3}, 1, 2, 2))
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		imgs, h, w, err := ReadIDXImages(bytes.NewReader(in))
+		if err == nil {
+			if h <= 0 || w <= 0 || h*w > maxIDXPixels || len(imgs) > maxIDXItems {
+				t.Fatalf("accepted implausible result: %d images of %dx%d", len(imgs), h, w)
+			}
+			for i, img := range imgs {
+				if len(img) != h*w {
+					t.Fatalf("image %d has %d pixels, want %d", i, len(img), h*w)
+				}
+			}
+		}
+		labels, err := ReadIDXLabels(bytes.NewReader(in))
+		if err == nil {
+			if len(labels) > maxIDXItems {
+				t.Fatalf("accepted %d labels", len(labels))
+			}
+			for _, l := range labels {
+				if l < 0 || l > 255 {
+					t.Fatalf("label %d out of byte range", l)
+				}
+			}
+		}
+		// A reader must consume at most the bytes it was given — trivially
+		// true with bytes.Reader, but keep the io import honest by checking
+		// a reader that errors mid-stream does not slip through.
+		if len(in) > 8 {
+			if _, _, _, err := ReadIDXImages(io.LimitReader(bytes.NewReader(in), 8)); err == nil {
+				t.Fatal("truncated stream accepted")
+			}
+		}
+	})
+}

@@ -204,6 +204,59 @@ func Fig10Memory(sc Scale, specs []AlgoSpec, threads []int) *report.Table {
 	return tbl
 }
 
+// ShardSweep runs the shard-count contention experiment the sharded
+// publication layer opens (extension; not a paper figure): Leashed-SGD at a
+// fixed worker count across shard counts, in profiling mode. One row per
+// shard count. The cross-row comparable unit is the *publish*: failed/pub
+// divides failed CAS attempts by successful shard publishes (TotalUpdates
+// for the single chain, Σ ShardPublishes otherwise), since a sharded
+// iteration performs up to S publishes where the single chain performs one.
+// stal.mean stays in per-chain sequence units — each chain advances ~1/S as
+// fast, so it reads as contention per chain, not global version lag.
+func ShardSweep(sc Scale, workers int, shardCounts []int, persistence int) *report.Table {
+	tbl := report.NewTable(
+		fmt.Sprintf("Shard sweep: LSH contention vs shard count, m=%d Tp=%d [%s]",
+			workers, persistence, sc.Arch),
+		"shards", "iters", "publishes", "failedCAS", "failed/pub", "dropped", "stal.mean", "ms/iter", "shard pub spread")
+	s := sc
+	s.Trials = 1
+	for _, spec := range ShardedAlgos(persistence, shardCounts) {
+		cell := RunCell(s, spec, workers, 0, s.Eta, false)
+		res := cell.Results[0]
+		publishes := res.TotalUpdates
+		spread := "-"
+		if len(res.ShardPublishes) > 0 {
+			publishes = 0
+			lo, hi := res.ShardPublishes[0], res.ShardPublishes[0]
+			for _, p := range res.ShardPublishes {
+				publishes += p
+				if p < lo {
+					lo = p
+				}
+				if p > hi {
+					hi = p
+				}
+			}
+			spread = fmt.Sprintf("%d..%d", lo, hi)
+		}
+		var failedPerPub float64
+		if publishes > 0 {
+			failedPerPub = float64(res.FailedCAS) / float64(publishes)
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", res.Shards),
+			fmt.Sprintf("%d", res.TotalUpdates),
+			fmt.Sprintf("%d", publishes),
+			fmt.Sprintf("%d", res.FailedCAS),
+			fmt.Sprintf("%.4f", failedPerPub),
+			fmt.Sprintf("%d", res.DroppedUpdates),
+			fmt.Sprintf("%.2f", res.Staleness.Mean()),
+			fmt.Sprintf("%.3f", float64(res.TimePerUpdate())/float64(time.Millisecond)),
+			spread)
+	}
+	return tbl
+}
+
 // TableI prints the experiment-plan summary matching the paper's Table I.
 func TableI() *report.Table {
 	tbl := report.NewTable("Table I: experiment overview",

@@ -124,6 +124,24 @@ type AlgoSpec struct {
 	Name        string
 	Algo        sgd.Algorithm
 	Persistence int
+	// Shards is the published-vector shard count (0 = single chain). Only
+	// Leashed/LeashedAdaptive/Hogwild consume it; see sgd.Config.Shards.
+	Shards int
+}
+
+// ShardedAlgos returns the Leashed configurations across a shard-count
+// sweep at fixed persistence — the scenario axis the sharded publication
+// layer opens for every workload.
+func ShardedAlgos(persistence int, shardCounts []int) []AlgoSpec {
+	out := make([]AlgoSpec, 0, len(shardCounts))
+	for _, s := range shardCounts {
+		name := fmt.Sprintf("LSH_s%d", s)
+		if s <= 1 {
+			name = "LSH_s1"
+		}
+		out = append(out, AlgoSpec{Name: name, Algo: sgd.Leashed, Persistence: persistence, Shards: s})
+	}
+	return out
 }
 
 // StandardAlgos returns the five configurations every figure compares:
@@ -175,6 +193,7 @@ func RunCell(sc Scale, spec AlgoSpec, workers int, epsilon, eta float64, sampleT
 			Eta:          eta,
 			BatchSize:    sc.BatchSize,
 			Persistence:  spec.Persistence,
+			Shards:       spec.Shards,
 			Seed:         sc.Seed + uint64(trial)*7919,
 			EpsilonFrac:  epsilon,
 			MaxTime:      sc.MaxTime,

@@ -1,0 +1,166 @@
+package paramvec
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stressIters scales the stress workloads down under -short (CI runs the
+// race detector, which multiplies runtime ~10x).
+func stressIters(t *testing.T, full int) int {
+	if testing.Short() {
+		return full / 10
+	}
+	return full
+}
+
+// TestRaceSharedPublishRecycle hammers the full Shared publish/recycle
+// protocol — concurrent Latest, TryPublish, StopReading/SafeDelete — from
+// many goroutines. Run under `go test -race` it checks the protocol's
+// happens-before edges; the poison check asserts no buffer is recycled while
+// a reader holds it; and after quiescing, retiring the chain must drain the
+// pool gauge to zero (no leaked and no double-freed buffers).
+func TestRaceSharedPublishRecycle(t *testing.T) {
+	const dim = 32
+	const workers = 8
+	iters := stressIters(t, 3000)
+	p := NewPool(dim)
+	p.SetPoison(true)
+	var s Shared
+	v0 := New(p)
+	for i := range v0.Theta {
+		v0.Theta[i] = 1
+	}
+	s.Publish(v0)
+
+	var published atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Reader: the protected window must never observe a
+				// poisoned (recycled) buffer.
+				v := s.Latest()
+				if math.IsNaN(v.Theta[0]) || math.IsNaN(v.Theta[dim-1]) {
+					t.Errorf("worker %d: buffer recycled while reader held it", w)
+					v.StopReading()
+					return
+				}
+				v.StopReading()
+
+				// Writer: LAU-SPC with a small persistence bound, so both
+				// the publish and the drop/Release paths are exercised.
+				nv := New(p)
+				tries := 0
+				for {
+					cur := s.Latest()
+					nv.CopyFrom(cur)
+					cur.StopReading()
+					nv.T++
+					nv.Theta[0] = float64(nv.T)
+					nv.Theta[dim-1] = float64(nv.T)
+					if s.TryPublish(cur, nv) {
+						published.Add(1)
+						break
+					}
+					if tries++; tries > 1 {
+						nv.Release()
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if published.Load() == 0 {
+		t.Fatal("no successful publishes")
+	}
+	// Quiesced: only the final published vector is still checked out.
+	if got := p.Live(); got != 1 {
+		t.Fatalf("pool gauge = %d after quiesce, want 1 (the published vector)", got)
+	}
+	final := s.Peek()
+	final.MarkStale()
+	final.SafeDelete()
+	if got := p.Live(); got != 0 {
+		t.Fatalf("pool gauge = %d after retiring the chain, want 0", got)
+	}
+}
+
+// TestRaceShardedPublishRecycle is the sharded analogue: workers run
+// concurrent per-shard Latest/TryPublish/recycle cycles plus full-vector
+// snapshots, and every shard pool must drain to zero after retirement.
+func TestRaceShardedPublishRecycle(t *testing.T) {
+	const dim = 64
+	const shards = 4
+	const workers = 8
+	iters := stressIters(t, 2000)
+	ss := NewSharded(dim, shards)
+	ss.SetPoison(true)
+	init := make([]float64, dim)
+	for i := range init {
+		init[i] = 1
+	}
+	ss.PublishInit(init)
+
+	var published atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dst := make([]float64, dim)
+			var seqs []int64
+			for i := 0; i < iters; i++ {
+				// Snapshot read across all shards under protection.
+				seqs = ss.Snapshot(dst, seqs)
+				for j := 0; j < dim; j += dim / 4 {
+					if math.IsNaN(dst[j]) {
+						t.Errorf("worker %d: snapshot read a recycled shard buffer", w)
+						return
+					}
+				}
+
+				// Publish every shard, rotated start, Tp = 1.
+				for k := 0; k < shards; k++ {
+					s := (w + k) % shards
+					nv := ss.NewShardVec(s)
+					tries := 0
+					for {
+						cur := ss.Latest(s)
+						nv.CopyFrom(cur)
+						cur.StopReading()
+						nv.T++
+						nv.Theta[0] = float64(nv.T)
+						if ss.TryPublish(s, cur, nv) {
+							published.Add(1)
+							break
+						}
+						if tries++; tries > 1 {
+							nv.Release()
+							break
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if published.Load() == 0 {
+		t.Fatal("no successful publishes")
+	}
+	if got, want := ss.Live(), int64(shards); got != want {
+		t.Fatalf("shard pools hold %d buffers after quiesce, want %d (one published per shard)", got, want)
+	}
+	ss.Retire()
+	if got := ss.Live(); got != 0 {
+		t.Fatalf("shard pools hold %d buffers after Retire, want 0", got)
+	}
+	if ss.Reuses() == 0 {
+		t.Fatal("shard pools never reused a buffer")
+	}
+}

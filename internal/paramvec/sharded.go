@@ -1,0 +1,238 @@
+package paramvec
+
+import (
+	"fmt"
+)
+
+// Range is a half-open index interval [Lo, Hi) of the flat parameter vector
+// covered by one shard.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of components in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// ShardBounds partitions [0, dim) into shards contiguous near-equal ranges.
+// The remainder dim mod shards is spread one component each over the first
+// shards, so |len(i) - len(j)| <= 1 for all i, j. shards is clamped to
+// [1, dim].
+func ShardBounds(dim, shards int) []Range {
+	if dim <= 0 {
+		panic("paramvec: ShardBounds dimension must be positive")
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > dim {
+		shards = dim
+	}
+	out := make([]Range, shards)
+	base := dim / shards
+	rem := dim % shards
+	lo := 0
+	for s := range out {
+		n := base
+		if s < rem {
+			n++
+		}
+		out[s] = Range{Lo: lo, Hi: lo + n}
+		lo += n
+	}
+	return out
+}
+
+// shardCell is one shard's publication state. The padding keeps each cell's
+// hot atomic pointer on its own cache-line pair so that CAS traffic on one
+// shard does not invalidate its neighbours (false sharing would reintroduce
+// the very contention sharding removes).
+type shardCell struct {
+	shared Shared // 8 bytes
+	pool   *Pool  // 8 bytes
+	rng    Range  // 16 bytes
+	_      [96]byte
+}
+
+// ShardedShared splits the published parameter vector into S contiguous
+// shards, each with its own lock-free latest-pointer chain, buffer pool and
+// sequence counter. Workers run the LAU-SPC publish protocol per shard, so
+// two workers conflict only when they publish the *same* shard concurrently:
+// expected CAS contention scales as ~1/S. The price is that the vector as a
+// whole no longer has a single totally-ordered history — each shard's chain
+// is ordered (paper P1 holds per shard), and cross-shard consistency is
+// recovered at snapshot time via per-shard sequence validation.
+//
+// With S = 1 the structure degenerates to exactly one Shared chain and the
+// original single-pointer semantics.
+type ShardedShared struct {
+	cells []shardCell
+	dim   int
+}
+
+// NewSharded builds a sharded publication cell for a dim-dimensional vector
+// split into shards parts (clamped to [1, dim]). No vector is published yet;
+// call PublishInit before any Latest.
+func NewSharded(dim, shards int) *ShardedShared {
+	bounds := ShardBounds(dim, shards)
+	ss := &ShardedShared{cells: make([]shardCell, len(bounds)), dim: dim}
+	for s, r := range bounds {
+		ss.cells[s].rng = r
+		ss.cells[s].pool = NewPool(r.Len())
+	}
+	return ss
+}
+
+// NumShards returns S.
+func (ss *ShardedShared) NumShards() int { return len(ss.cells) }
+
+// Dim returns the full vector dimension d.
+func (ss *ShardedShared) Dim() int { return ss.dim }
+
+// ShardRange returns shard s's index interval in the flat vector.
+func (ss *ShardedShared) ShardRange(s int) Range { return ss.cells[s].rng }
+
+// ShardPool returns shard s's buffer pool (per-shard memory accounting).
+func (ss *ShardedShared) ShardPool(s int) *Pool { return ss.cells[s].pool }
+
+// SetPoison enables buffer poisoning on every shard pool (tests only).
+func (ss *ShardedShared) SetPoison(on bool) {
+	for s := range ss.cells {
+		ss.cells[s].pool.SetPoison(on)
+	}
+}
+
+// PublishInit slices theta into the shards and publishes each segment
+// unconditionally (initialization only; the sharded analogue of
+// Shared.Publish). theta must have length Dim.
+func (ss *ShardedShared) PublishInit(theta []float64) {
+	if len(theta) != ss.dim {
+		panic(fmt.Sprintf("paramvec: PublishInit got %d values, want %d", len(theta), ss.dim))
+	}
+	for s := range ss.cells {
+		c := &ss.cells[s]
+		v := New(c.pool)
+		copy(v.Theta, theta[c.rng.Lo:c.rng.Hi])
+		c.shared.Publish(v)
+	}
+}
+
+// NewShardVec checks a fresh shard-s-sized vector out of shard s's pool.
+func (ss *ShardedShared) NewShardVec(s int) *Vector {
+	return New(ss.cells[s].pool)
+}
+
+// Latest acquires shard s's latest published vector with the read-protection
+// protocol; the caller must StopReading it.
+func (ss *ShardedShared) Latest(s int) *Vector {
+	return ss.cells[s].shared.Latest()
+}
+
+// TryPublish runs the LAU-SPC publish CAS on shard s.
+func (ss *ShardedShared) TryPublish(s int, expected, v *Vector) bool {
+	return ss.cells[s].shared.TryPublish(expected, v)
+}
+
+// Peek returns shard s's published vector without read protection
+// (monitoring only).
+func (ss *ShardedShared) Peek(s int) *Vector {
+	return ss.cells[s].shared.Peek()
+}
+
+// Snapshot copies every shard's latest published segment into dst under read
+// protection and returns the per-shard sequence numbers that were copied.
+// Each shard segment is guaranteed untorn — it is one published, immutable
+// vector — but different shards may come from different global moments
+// (cross-shard skew). seqs is reused when it has capacity.
+func (ss *ShardedShared) Snapshot(dst []float64, seqs []int64) []int64 {
+	if len(dst) != ss.dim {
+		panic(fmt.Sprintf("paramvec: Snapshot dst has %d values, want %d", len(dst), ss.dim))
+	}
+	if cap(seqs) < len(ss.cells) {
+		seqs = make([]int64, len(ss.cells))
+	}
+	seqs = seqs[:len(ss.cells)]
+	for s := range ss.cells {
+		c := &ss.cells[s]
+		v := c.shared.Latest()
+		copy(dst[c.rng.Lo:c.rng.Hi], v.Theta)
+		seqs[s] = v.T
+		v.StopReading()
+	}
+	return seqs
+}
+
+// SnapshotConsistent attempts a cross-shard-consistent snapshot using
+// per-shard sequence validation (a seqlock over the shard chains): copy all
+// shards recording each shard's sequence number, then re-read every shard's
+// published sequence — if none advanced during the copy, no publish
+// interleaved and the snapshot is a true global state. It retries up to
+// attempts times and reports whether validation succeeded; on failure dst
+// still holds the last (per-shard-untorn, possibly cross-shard-skewed)
+// snapshot. Under sustained publishing validation may never pass — callers
+// on a hot path should use Snapshot and tolerate skew.
+func (ss *ShardedShared) SnapshotConsistent(dst []float64, attempts int) ([]int64, bool) {
+	var seqs []int64
+	for try := 0; try < attempts; try++ {
+		seqs = ss.Snapshot(dst, seqs)
+		stable := true
+		for s := range ss.cells {
+			if ss.cells[s].shared.Peek().T != seqs[s] {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			return seqs, true
+		}
+	}
+	return seqs, false
+}
+
+// Live sums the live-buffer gauges of every shard pool. One full-vector
+// equivalent counts as S shard buffers of total size d.
+func (ss *ShardedShared) Live() int64 {
+	var n int64
+	for s := range ss.cells {
+		n += ss.cells[s].pool.Live()
+	}
+	return n
+}
+
+// Peak sums the per-shard peak gauges. The shards peak at different moments,
+// so this is an upper bound on the true simultaneous peak.
+func (ss *ShardedShared) Peak() int64 {
+	var n int64
+	for s := range ss.cells {
+		n += ss.cells[s].pool.Peak()
+	}
+	return n
+}
+
+// Allocs sums heap allocations across shard pools.
+func (ss *ShardedShared) Allocs() int64 {
+	var n int64
+	for s := range ss.cells {
+		n += ss.cells[s].pool.Allocs()
+	}
+	return n
+}
+
+// Reuses sums free-list reuses across shard pools.
+func (ss *ShardedShared) Reuses() int64 {
+	var n int64
+	for s := range ss.cells {
+		n += ss.cells[s].pool.Reuses()
+	}
+	return n
+}
+
+// Retire marks every shard's published vector stale and offers it for
+// recycling (end-of-run cleanup so the pool gauges drain to zero once the
+// last reader leaves).
+func (ss *ShardedShared) Retire() {
+	for s := range ss.cells {
+		v := ss.cells[s].shared.Peek()
+		v.MarkStale()
+		v.SafeDelete()
+	}
+}

@@ -20,8 +20,17 @@ import (
 // NO consistency — reads interleave with concurrent partial updates exactly
 // as in the original HOGWILD!, which is the inconsistency penalty (the √d
 // factor of Alistarh et al. [3]) the paper measures against.
+//
+// Config.Shards > 1 keeps these semantics bit-for-bit (component-atomic adds
+// commute) but changes the *traversal order*: each worker applies its update
+// shard by shard, starting from a per-worker, per-iteration rotated shard,
+// so concurrent writers spread across the vector instead of marching front
+// to back in lockstep and colliding on the same cache lines. Per-shard sweep
+// counts land in Result.ShardPublishes.
 func (rt *runCtx) launchHogwild(wg *sync.WaitGroup, initVec *paramvec.Vector) (snapshot func([]float64), cleanup func()) {
 	cfg := rt.cfg
+	bounds := paramvec.ShardBounds(rt.d, rt.numShards())
+	S := len(bounds)
 	shared := make([]uint64, rt.d)
 	for i, v := range initVec.Theta {
 		atomicx.StoreFloat64(&shared[i], v)
@@ -47,7 +56,9 @@ func (rt *runCtx) launchHogwild(wg *sync.WaitGroup, initVec *paramvec.Vector) (s
 			if cfg.Momentum > 0 {
 				velocity = make([]float64, rt.d)
 			}
+			iter := 0
 			for !rt.stop.Load() && !rt.budgetExhausted() {
+				iter++
 				// Uncoordinated read: other workers may be mid-update,
 				// so this view can mix parameter versions (inconsistent).
 				readSeq := rt.updates.Load()
@@ -72,9 +83,21 @@ func (rt *runCtx) launchHogwild(wg *sync.WaitGroup, initVec *paramvec.Vector) (s
 					t0 = time.Now()
 				}
 				eta := rt.adaptedEta(rt.updates.Load() - readSeq)
-				for i, g := range step {
-					if g != 0 {
-						atomicx.AddFloat64(&shared[i], -eta*g)
+				if S == 1 {
+					for i, g := range step {
+						if g != 0 {
+							atomicx.AddFloat64(&shared[i], -eta*g)
+						}
+					}
+				} else {
+					for k := 0; k < S; k++ {
+						s := (id + iter + k) % S
+						for i := bounds[s].Lo; i < bounds[s].Hi; i++ {
+							if g := step[i]; g != 0 {
+								atomicx.AddFloat64(&shared[i], -eta*g)
+							}
+						}
+						rt.shardPub[s].n.Add(1)
 					}
 				}
 				if cfg.SampleTiming {

@@ -1,0 +1,166 @@
+package sgd
+
+import (
+	"sync"
+	"time"
+
+	"leashedsgd/internal/data"
+	"leashedsgd/internal/paramvec"
+)
+
+// launchLeashedSharded starts Leashed-SGD workers over a sharded published
+// vector (Config.Shards > 1): the flat parameter vector is split into S
+// contiguous shards, each with its own lock-free latest-pointer chain, pool
+// and sequence counter (paramvec.ShardedShared), and the LAU-SPC loop runs
+// per shard. Two workers now conflict only when they publish the same shard
+// concurrently, so the failed-CAS rate scales as ~1/S — the same
+// partition-the-contended-cell argument that capacity-partitioned WPT
+// networks make for a shared charging medium.
+//
+// Per iteration a worker:
+//  1. assembles a read snapshot: acquires each shard's latest vector with the
+//     read-protection protocol and copies the segment into a private
+//     full-dimension buffer, recording each shard's sequence number. Unlike
+//     the single-chain path the gradient read is no longer zero-copy — the
+//     copy is the price of sharding, and each segment is untorn but
+//     cross-shard skew is possible;
+//  2. computes the gradient against the private copy;
+//  3. runs one LAU-SPC loop per shard, traversing shards in a rotated order
+//     (start shard = worker id mod S) so concurrent workers spread over the
+//     chains instead of marching through them in lockstep. Each shard has
+//     its own persistence budget of Tp failed CAS attempts; a shard that
+//     exhausts it drops only that segment of the gradient;
+//  4. staleness is per shard, in units of that shard's publishes; failed-CAS
+//     and dropped counts are recorded per shard (Result.ShardFailedCAS etc).
+//
+// The global update counter advances once per iteration that published at
+// least one shard. The LeashedAdaptive variant keeps one local bound per
+// worker: it grows by one after an iteration where every shard published
+// first-try, and halves after an iteration that dropped any shard.
+func (rt *runCtx) launchLeashedSharded(wg *sync.WaitGroup, initVec *paramvec.Vector) (snapshot func([]float64), cleanup func()) {
+	cfg := rt.cfg
+	ss := paramvec.NewSharded(rt.d, rt.numShards())
+	ss.PublishInit(initVec.Theta)
+	initVec.Release() // contents now live in the per-shard chains
+	rt.sharded = ss
+	S := ss.NumShards()
+	adaptive := cfg.Algo == LeashedAdaptive
+
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			ws := rt.net.NewWorkspace()
+			localParam := paramvec.New(rt.pool)
+			localGrad := paramvec.New(rt.pool)
+			defer localParam.Release()
+			defer localGrad.Release()
+			sampler := data.NewSampler(rt.ds.Len(), cfg.BatchSize, cfg.Seed, id)
+			hist := rt.hists[id]
+			tc, tu := rt.tcs[id], rt.tus[id]
+			var velocity []float64
+			if cfg.Momentum > 0 {
+				velocity = make([]float64, rt.d)
+			}
+			readTs := make([]int64, S)
+			localBound := cfg.Persistence
+			if adaptive {
+				localBound = 4
+			}
+			for !rt.stop.Load() && !rt.budgetExhausted() {
+				// (1) Assemble the read snapshot shard by shard.
+				for s := 0; s < S; s++ {
+					r := ss.ShardRange(s)
+					v := ss.Latest(s)
+					copy(localParam.Theta[r.Lo:r.Hi], v.Theta)
+					readTs[s] = v.T
+					v.StopReading()
+				}
+
+				// (2) Gradient against the private copy.
+				batch := sampler.Next()
+				zero(localGrad.Theta)
+				var t0 time.Time
+				if cfg.SampleTiming {
+					t0 = time.Now()
+				}
+				rt.net.BatchLossGrad(localParam.Theta, localGrad.Theta, rt.ds, batch, ws)
+				if cfg.SampleTiming {
+					tc.Observe(time.Since(t0))
+				}
+				step := rt.effectiveStep(localGrad.Theta, velocity)
+
+				// (3) Per-shard LAU-SPC loops, rotated start.
+				if cfg.SampleTiming {
+					t0 = time.Now()
+				}
+				publishedAny := false
+				cleanIter := true // every shard published without a retry
+				droppedAny := false
+				for k := 0; k < S; k++ {
+					s := (id + k) % S
+					r := ss.ShardRange(s)
+					newSeg := ss.NewShardVec(s)
+					tries := 0
+					for {
+						cur := ss.Latest(s)
+						newSeg.CopyFrom(cur)
+						cur.StopReading()
+						newSeg.Update(step[r.Lo:r.Hi], rt.adaptedEta(newSeg.T-readTs[s]))
+						if ss.TryPublish(s, cur, newSeg) {
+							publishedAny = true
+							rt.shardPub[s].n.Add(1)
+							stale := newSeg.T - 1 - readTs[s]
+							hist.Observe(stale)
+							rt.shardStale[s].n.Add(stale)
+							if tries > 0 {
+								cleanIter = false
+							}
+							break
+						}
+						rt.shardFailed[s].n.Add(1)
+						tries++
+						if localBound >= 0 && tries > localBound {
+							newSeg.Release()
+							rt.shardDropped[s].n.Add(1)
+							droppedAny = true
+							break
+						}
+						if rt.stop.Load() {
+							newSeg.Release()
+							cleanIter = false
+							break
+						}
+					}
+				}
+				if cfg.SampleTiming {
+					tu.Observe(time.Since(t0))
+				}
+				if publishedAny {
+					rt.updates.Add(1)
+				}
+				// Mirror the single-chain adaptive rule: grow only after a
+				// fully uncontended iteration, halve only after a dropped
+				// gradient segment (a retried-but-successful publish is
+				// neither).
+				if adaptive {
+					if droppedAny {
+						localBound /= 2
+					} else if cleanIter && publishedAny {
+						if localBound < 64 {
+							localBound++
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	snapshot = func(dst []float64) {
+		ss.Snapshot(dst, nil)
+	}
+	cleanup = func() {
+		ss.Retire()
+	}
+	return snapshot, cleanup
+}

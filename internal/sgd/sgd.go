@@ -86,6 +86,19 @@ type Config struct {
 	// algorithms.
 	Persistence int
 
+	// Shards splits the published parameter vector into S contiguous
+	// shards, each with its own lock-free latest-pointer chain, pool and
+	// sequence counter, so Leashed publish CAS contention scales as ~1/S
+	// (extension; see internal/paramvec.ShardedShared). 0 or 1 preserves
+	// the paper's exact single-chain semantics. HOGWILD! uses the knob to
+	// rotate its component-update traversal order across shards; the other
+	// algorithms ignore it. Values above the parameter dimension clamp.
+	// The trade-off: a sharded vector has no single totally-ordered
+	// history, so gradient reads may mix per-shard versions (cross-shard
+	// skew) — consistency holds per shard, and staleness is measured per
+	// shard.
+	Shards int
+
 	Seed uint64
 
 	// Stop conditions. EpsilonFrac sets the convergence target as a
@@ -145,6 +158,9 @@ func (c Config) withDefaults(dsLen int) Config {
 	if c.StalenessBound <= 0 {
 		c.StalenessBound = 8*c.Workers + 64
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.MaxUpdates <= 0 && c.MaxTime <= 0 {
 		c.MaxTime = 10 * time.Second
 	}
@@ -200,9 +216,23 @@ type Result struct {
 	// checkpointing.
 	FinalParams []float64
 
-	// Leashed-SGD contention measurements.
+	// Leashed-SGD contention measurements. For sharded runs these are the
+	// totals across shards; a "failed CAS" is one failed shard-publish
+	// attempt and a "dropped update" is one shard segment abandoned after
+	// exhausting the persistence bound.
 	FailedCAS      int64
 	DroppedUpdates int64
+
+	// Per-shard contention breakdown (len = Shards; nil for algorithms
+	// that ignore the sharding knob). ShardPublishes counts successful
+	// shard publishes (HOGWILD!: per-shard component-update sweeps);
+	// ShardStalenessMean is the mean per-shard publish staleness, measured
+	// in that shard's own sequence numbers.
+	Shards             int
+	ShardFailedCAS     []int64
+	ShardDropped       []int64
+	ShardPublishes     []int64
+	ShardStalenessMean []float64
 
 	// ParameterVector memory accounting (Fig. 10): buffers live at peak
 	// and at exit, plus total heap allocations (allocations ≪ checkouts
@@ -251,13 +281,34 @@ type runCtx struct {
 	failedCAS atomic.Int64
 	dropped   atomic.Int64
 
+	// Per-shard counters (indexed by shard, shared by all workers). Each
+	// counter sits on its own cache line so that instrumenting the publish
+	// path does not reintroduce the cross-shard write contention the
+	// sharding removes.
+	shardFailed  []paddedCounter
+	shardDropped []paddedCounter
+	shardPub     []paddedCounter
+	shardStale   []paddedCounter // per-shard staleness sums (count = shardPub)
+
 	pool *paramvec.Pool
+
+	// sharded is set by the sharded Leashed launcher; its shard pools are
+	// folded into the memory accounting in full-vector equivalents.
+	sharded *paramvec.ShardedShared
 
 	// Per-worker instrumentation, merged after the run.
 	hists []*metrics.Hist
 	tcs   []*metrics.DurationSampler
 	tus   []*metrics.DurationSampler
 }
+
+// paddedCounter is an atomic counter padded to a full cache-line pair.
+type paddedCounter struct {
+	n atomic.Int64
+	_ [120]byte
+}
+
+func newCounters(n int) []paddedCounter { return make([]paddedCounter, n) }
 
 func newRuntime(cfg Config, net *nn.Network, ds *data.Dataset) *runCtx {
 	rt := &runCtx{
@@ -266,6 +317,12 @@ func newRuntime(cfg Config, net *nn.Network, ds *data.Dataset) *runCtx {
 		ds:   ds,
 		d:    net.ParamCount(),
 		pool: paramvec.NewPool(net.ParamCount()),
+	}
+	if s := rt.numShards(); s > 1 {
+		rt.shardFailed = newCounters(s)
+		rt.shardDropped = newCounters(s)
+		rt.shardPub = newCounters(s)
+		rt.shardStale = newCounters(s)
 	}
 	rt.hists = make([]*metrics.Hist, cfg.Workers)
 	rt.tcs = make([]*metrics.DurationSampler, cfg.Workers)
@@ -281,6 +338,37 @@ func newRuntime(cfg Config, net *nn.Network, ds *data.Dataset) *runCtx {
 // budgetExhausted reports whether the update budget is spent.
 func (rt *runCtx) budgetExhausted() bool {
 	return rt.cfg.MaxUpdates > 0 && rt.updates.Load() >= rt.cfg.MaxUpdates
+}
+
+// numShards returns the effective shard count: Config.Shards clamped to
+// [1, d]. Only Leashed/LeashedAdaptive/Hogwild consume it.
+func (rt *runCtx) numShards() int {
+	s := rt.cfg.Shards
+	if s < 1 {
+		s = 1
+	}
+	if s > rt.d {
+		s = rt.d
+	}
+	switch rt.cfg.Algo {
+	case Leashed, LeashedAdaptive, Hogwild:
+		return s
+	default:
+		return 1
+	}
+}
+
+// liveVectors is the live-buffer gauge in full-vector equivalents: the
+// full-dimension pool's count plus the sharded pools' count divided by the
+// shard count, rounded up (S shard buffers hold one vector's worth of
+// parameters).
+func (rt *runCtx) liveVectors() int64 {
+	n := rt.pool.Live()
+	if rt.sharded != nil {
+		s := int64(rt.sharded.NumShards())
+		n += (rt.sharded.Live() + s - 1) / s
+	}
+	return n
 }
 
 // Run executes one training run and returns its measurements. The dataset
@@ -317,7 +405,11 @@ func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
 	case Hogwild:
 		snapshot, cleanup = rt.launchHogwild(&wg, initVec)
 	case Leashed, LeashedAdaptive:
-		snapshot, cleanup = rt.launchLeashed(&wg, initVec)
+		if rt.numShards() > 1 {
+			snapshot, cleanup = rt.launchLeashedSharded(&wg, initVec)
+		} else {
+			snapshot, cleanup = rt.launchLeashed(&wg, initVec)
+		}
 	case SyncLockstep:
 		snapshot, cleanup = rt.launchSync(&wg, initVec)
 	default:
@@ -348,9 +440,36 @@ func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
 	res.DroppedUpdates = rt.dropped.Load()
 	res.TotalUpdates = rt.updates.Load()
 	res.PeakLiveVectors = rt.pool.Peak()
-	res.FinalLiveVectors = rt.pool.Live()
+	res.FinalLiveVectors = rt.liveVectors()
 	res.BufferAllocs = rt.pool.Allocs()
 	res.BufferReuses = rt.pool.Reuses()
+	res.Shards = rt.numShards()
+	if rt.shardFailed != nil {
+		s := len(rt.shardFailed)
+		res.ShardFailedCAS = make([]int64, s)
+		res.ShardDropped = make([]int64, s)
+		res.ShardPublishes = make([]int64, s)
+		res.ShardStalenessMean = make([]float64, s)
+		for i := 0; i < s; i++ {
+			res.ShardFailedCAS[i] = rt.shardFailed[i].n.Load()
+			res.ShardDropped[i] = rt.shardDropped[i].n.Load()
+			res.ShardPublishes[i] = rt.shardPub[i].n.Load()
+			if pub := res.ShardPublishes[i]; pub > 0 {
+				res.ShardStalenessMean[i] = float64(rt.shardStale[i].n.Load()) / float64(pub)
+			}
+			res.FailedCAS += res.ShardFailedCAS[i]
+			res.DroppedUpdates += res.ShardDropped[i]
+		}
+	}
+	if rt.sharded != nil {
+		// Fold the shard pools into the accounting in full-vector
+		// equivalents (per-shard peaks are an upper bound on the true
+		// simultaneous peak; allocation counts are exact).
+		s := int64(rt.sharded.NumShards())
+		res.PeakLiveVectors += (rt.sharded.Peak() + s - 1) / s
+		res.BufferAllocs += (rt.sharded.Allocs() + s - 1) / s
+		res.BufferReuses += rt.sharded.Reuses() / s
+	}
 	return res, nil
 }
 
@@ -386,7 +505,7 @@ func (rt *runCtx) monitor(snapshot func(dst []float64)) *Result {
 		upd := rt.updates.Load()
 		loss := rt.net.Loss(buf, rt.ds, evalIdx, ws)
 		res.Trace.Add(elapsed, upd, loss)
-		res.MemSamples = append(res.MemSamples, rt.pool.Live())
+		res.MemSamples = append(res.MemSamples, rt.liveVectors())
 		res.FinalLoss = loss
 		res.Elapsed = elapsed
 

@@ -1,0 +1,170 @@
+package sgd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestConvergenceMatrix is the ε-convergence smoke matrix: every Algorithm ×
+// shard count {1, 4} on the synthetic logreg-scale dataset must reach the
+// 50% loss target. For algorithms that ignore the sharding knob the two
+// columns exercise that Shards is safely accepted; for Leashed/Hogwild they
+// exercise both the single-chain and the sharded hot paths.
+func TestConvergenceMatrix(t *testing.T) {
+	ds := tinyDataset()
+	algos := []Algorithm{Seq, Async, Hogwild, Leashed, LeashedAdaptive, SyncLockstep}
+	for _, algo := range algos {
+		for _, shards := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", algo, shards), func(t *testing.T) {
+				workers := 4
+				if algo == Seq {
+					workers = 1
+				}
+				cfg := testConfig(algo, workers)
+				cfg.Shards = shards
+				res := runOrFatal(t, cfg, tinyNet(ds), ds)
+				if res.Outcome != Converged {
+					t.Fatalf("%s with %d shards: outcome = %v (loss %v -> %v)",
+						algo, shards, res.Outcome, res.InitialLoss, res.FinalLoss)
+				}
+				if res.FinalLiveVectors != 0 {
+					t.Fatalf("leak: %d vectors live after run", res.FinalLiveVectors)
+				}
+			})
+		}
+	}
+}
+
+func TestShardedLeashedPerShardMetrics(t *testing.T) {
+	ds := tinyDataset()
+	const shards = 4
+	cfg := testConfig(Leashed, 4)
+	cfg.Shards = shards
+	cfg.EpsilonFrac = 0
+	cfg.MaxUpdates = 300
+	res := runOrFatal(t, cfg, tinyNet(ds), ds)
+	if res.Shards != shards {
+		t.Fatalf("Result.Shards = %d, want %d", res.Shards, shards)
+	}
+	if len(res.ShardFailedCAS) != shards || len(res.ShardDropped) != shards ||
+		len(res.ShardPublishes) != shards || len(res.ShardStalenessMean) != shards {
+		t.Fatalf("per-shard metric lengths: %d/%d/%d/%d, want %d",
+			len(res.ShardFailedCAS), len(res.ShardDropped),
+			len(res.ShardPublishes), len(res.ShardStalenessMean), shards)
+	}
+	var pubs, failed, dropped int64
+	for s := 0; s < shards; s++ {
+		pubs += res.ShardPublishes[s]
+		failed += res.ShardFailedCAS[s]
+		dropped += res.ShardDropped[s]
+		if res.ShardPublishes[s] == 0 {
+			t.Fatalf("shard %d never published", s)
+		}
+	}
+	if pubs < res.TotalUpdates {
+		t.Fatalf("shard publishes %d < global updates %d", pubs, res.TotalUpdates)
+	}
+	// Totals must roll up into the aggregate counters.
+	if res.FailedCAS != failed || res.DroppedUpdates != dropped {
+		t.Fatalf("aggregate failed=%d dropped=%d, per-shard sums %d/%d",
+			res.FailedCAS, res.DroppedUpdates, failed, dropped)
+	}
+}
+
+func TestUnshardedResultHasNoShardBreakdown(t *testing.T) {
+	ds := tinyDataset()
+	cfg := testConfig(Leashed, 2)
+	cfg.EpsilonFrac = 0
+	cfg.MaxUpdates = 100
+	res := runOrFatal(t, cfg, tinyNet(ds), ds)
+	if res.Shards != 1 {
+		t.Fatalf("Result.Shards = %d, want 1", res.Shards)
+	}
+	if res.ShardFailedCAS != nil || res.ShardPublishes != nil {
+		t.Fatal("single-chain run populated per-shard metrics")
+	}
+}
+
+func TestShardsClampToDimensionAndAlgo(t *testing.T) {
+	ds := tinyDataset()
+	// Absurd shard count: must clamp to the parameter dimension, not crash.
+	cfg := testConfig(Leashed, 2)
+	cfg.Shards = 1 << 30
+	cfg.EpsilonFrac = 0
+	cfg.MaxUpdates = 20
+	cfg.MaxTime = 10 * time.Second
+	res := runOrFatal(t, cfg, tinyNet(ds), ds)
+	if d := tinyNet(ds).ParamCount(); res.Shards != d {
+		t.Fatalf("Shards = %d, want clamp to d=%d", res.Shards, d)
+	}
+	// Algorithms without a sharded path must report Shards = 1 regardless.
+	cfg = testConfig(Async, 2)
+	cfg.Shards = 8
+	cfg.EpsilonFrac = 0
+	cfg.MaxUpdates = 20
+	res = runOrFatal(t, cfg, tinyNet(ds), ds)
+	if res.Shards != 1 {
+		t.Fatalf("ASYNC reported Shards = %d, want 1", res.Shards)
+	}
+}
+
+func TestShardedSingleWorkerNoContention(t *testing.T) {
+	// One worker, many shards: every shard CAS is uncontended, so no
+	// failures, no drops, and per-shard staleness identically zero.
+	ds := tinyDataset()
+	cfg := testConfig(Leashed, 1)
+	cfg.Shards = 4
+	cfg.EpsilonFrac = 0
+	cfg.MaxUpdates = 100
+	res := runOrFatal(t, cfg, tinyNet(ds), ds)
+	if res.FailedCAS != 0 || res.DroppedUpdates != 0 {
+		t.Fatalf("1-worker sharded LSH had contention: failed=%d dropped=%d",
+			res.FailedCAS, res.DroppedUpdates)
+	}
+	if res.Staleness.Max() != 0 {
+		t.Fatalf("1-worker sharded staleness max = %d, want 0", res.Staleness.Max())
+	}
+	for s, m := range res.ShardStalenessMean {
+		if m != 0 {
+			t.Fatalf("shard %d staleness mean = %v, want 0", s, m)
+		}
+	}
+}
+
+func TestShardedHogwildCountsSweeps(t *testing.T) {
+	ds := tinyDataset()
+	const shards = 3
+	cfg := testConfig(Hogwild, 2)
+	cfg.Shards = shards
+	cfg.EpsilonFrac = 0
+	cfg.MaxUpdates = 150
+	res := runOrFatal(t, cfg, tinyNet(ds), ds)
+	if res.Shards != shards || len(res.ShardPublishes) != shards {
+		t.Fatalf("Shards=%d publishes=%v", res.Shards, res.ShardPublishes)
+	}
+	for s := 0; s < shards; s++ {
+		if res.ShardPublishes[s] == 0 {
+			t.Fatalf("shard %d saw no update sweeps", s)
+		}
+	}
+}
+
+// TestShardedPersistenceZeroSemantics extends the ps0 invariant to shards:
+// with Tp = 0, every failed shard CAS aborts that shard's segment, so the
+// per-shard failed and dropped counts must be equal, shard by shard.
+func TestShardedPersistenceZeroSemantics(t *testing.T) {
+	ds := tinyDataset()
+	cfg := testConfig(Leashed, 4)
+	cfg.Shards = 2
+	cfg.Persistence = 0
+	cfg.EpsilonFrac = 0
+	cfg.MaxUpdates = 500
+	res := runOrFatal(t, cfg, tinyNet(ds), ds)
+	for s := range res.ShardFailedCAS {
+		if res.ShardFailedCAS[s] != res.ShardDropped[s] {
+			t.Fatalf("ps0 shard %d: failed=%d dropped=%d, want equal",
+				s, res.ShardFailedCAS[s], res.ShardDropped[s])
+		}
+	}
+}

@@ -11,6 +11,22 @@
 // point running any of the algorithms — SEQ, lock-based ASYNC, HOGWILD!, and
 // Leashed-SGD with a configurable persistence bound.
 //
+// Beyond the paper, Config.Shards splits the published parameter vector into
+// S contiguous shards, each with its own lock-free latest-pointer chain,
+// buffer pool and sequence counter (internal/paramvec.ShardedShared).
+// Workers then run the LAU-SPC publish loop per shard, so two workers
+// conflict only when they publish the same shard concurrently and the
+// failed-CAS rate falls ~1/S — at the cost of cross-shard read skew:
+// consistency and staleness are per shard, and gradient reads copy instead
+// of reading the published buffer zero-copy. Shards = 1 (the default) is
+// bit-for-bit the paper's single-chain algorithm. HOGWILD! reuses the knob
+// to rotate its component-update traversal across shards; per-shard
+// failed-CAS/dropped/staleness breakdowns land in Result.ShardFailedCAS and
+// friends. The test matrix covers every Algorithm × shard count {1, 4}
+// (internal/sgd), race-detector stress tests of both publication protocols
+// (internal/paramvec), and a shard-count contention sweep (`leashed run
+// shards`, BenchmarkShardSweepContention).
+//
 // Quick start:
 //
 //	model := leashedsgd.MLP(28*28, []int{128, 128, 128}, 10)
