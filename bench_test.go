@@ -288,6 +288,87 @@ func BenchmarkShardSweepTraining(b *testing.B) {
 	}
 }
 
+// autoShardScale is the contention-heavy workload the AutoShard benchmark
+// uses: a tiny network with a small batch keeps the gradient phase short
+// relative to the publish phase, so the single-chain CAS actually contends
+// at oversubscribed worker counts.
+func autoShardScale() harness.Scale {
+	return harness.Scale{
+		Arch:      harness.TinyMLP,
+		Samples:   256,
+		BatchSize: 4,
+		Trials:    1,
+		Eta:       0.05,
+		MaxTime:   1500 * time.Millisecond,
+		Seed:      1,
+		EvalEvery: 25 * time.Millisecond,
+	}
+}
+
+// autoShardRate runs one profiling training run and returns its failed-CAS
+// rate per successful publish (the sweep's cross-row comparable unit; for
+// autotuned runs Result.Publishes spans every epoch, so the rate is not
+// skewed toward the final shard count).
+func autoShardRate(sc harness.Scale, spec harness.AlgoSpec, workers int) (rate float64, res *sgd.Result) {
+	cell := harness.RunCell(sc, spec, workers, 0, sc.Eta, false)
+	res = cell.Results[0]
+	return res.FailedPerPublish(), res
+}
+
+// BenchmarkAutoShard is the tentpole convergence check of the shard-count
+// autotuner: at ≥8 workers, run the static shard sweep and the autotuned run
+// on the same workload, compute the sweep's knee — the smallest S that either
+// clears the controller's climb threshold or that doubling no longer improves
+// by the controller's acceptance margin (the same rule the online controller
+// applies, evaluated offline) — and require the controller's final S to land
+// within one doubling of it.
+func BenchmarkAutoShard(b *testing.B) {
+	workers := 8
+	if m := 2 * runtime.GOMAXPROCS(0); m > workers {
+		workers = m
+	}
+	statics := []int{1, 2, 4, 8}
+	for i := 0; i < b.N; i++ {
+		sc := autoShardScale()
+		rates := make([]float64, len(statics))
+		for j, s := range statics {
+			spec := harness.AlgoSpec{Name: fmt.Sprintf("LSH_s%d", s),
+				Algo: sgd.Leashed, Persistence: sgd.PersistenceInf, Shards: s}
+			rates[j], _ = autoShardRate(sc, spec, workers)
+		}
+		// Offline knee: keep doubling while the rate is above the climb
+		// threshold and the next doubling still pays the acceptance margin.
+		knee := 0
+		for knee+1 < len(statics) &&
+			rates[knee] > sgd.AutoShardClimbRate &&
+			rates[knee+1] <= sgd.AutoShardImprove*rates[knee] {
+			knee++
+		}
+		bestS := statics[knee]
+
+		auto := harness.AlgoSpec{Name: "LSH_auto", Algo: sgd.Leashed,
+			Persistence: sgd.PersistenceInf, AutoShard: true}
+		autoRate, res := autoShardRate(sc, auto, workers)
+		if i == 0 {
+			fmt.Printf("m=%d static rates: ", workers)
+			for j, s := range statics {
+				fmt.Printf("S=%d:%.4f ", s, rates[j])
+			}
+			fmt.Printf("knee=%d | auto: final S=%d rate=%.4f trajectory=%v (%d reshards)\n",
+				bestS, res.Shards, autoRate, res.ShardTrajectory, res.Reshards)
+		}
+		b.ReportMetric(float64(res.Shards), "autoS")
+		b.ReportMetric(float64(bestS), "bestStaticS")
+		b.ReportMetric(float64(res.Reshards), "reshards")
+		// Within one doubling: the ratio between the controller's landing
+		// point and the sweep's knee is at most 2 in either direction.
+		if res.Shards > 2*bestS || bestS > 2*res.Shards {
+			b.Errorf("controller landed at S=%d, more than one doubling from best static S=%d (rates %v)",
+				res.Shards, bestS, rates)
+		}
+	}
+}
+
 // BenchmarkTableIPlan prints the Table I experiment overview (a constant
 // table; benchmarked for completeness of the per-artifact index).
 func BenchmarkTableIPlan(b *testing.B) {

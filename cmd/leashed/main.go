@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	leashed run <step> [flags]     run one step: s1, s1-eta, s2, s3, s4, s5, fig9
+//	leashed run <step> [flags]     run one step: s1, s1-eta, s2, s3, s4, s5, fig9, shards, autotune
 //	leashed run-all [flags]        run every step at the configured scale
 //	leashed table1                 print the experiment-plan summary
 //
@@ -117,7 +117,7 @@ func main() {
 		}
 	}
 
-	steps := []string{"s1", "s1-eta", "s2", "s3", "s4", "s5", "fig9", "shards"}
+	steps := []string{"s1", "s1-eta", "s2", "s3", "s4", "s5", "fig9", "shards", "autotune"}
 	if cmd == "run" {
 		if fs.NArg() != 1 {
 			fmt.Fprintf(os.Stderr, "run needs exactly one step (%s)\n", strings.Join(steps, ", "))
@@ -176,6 +176,12 @@ func runStep(step string, sc harness.Scale, threads, shardCounts []int, emit fun
 		// (the regime where single-chain CAS contention peaks).
 		m := threads[len(threads)-1] * 2
 		emit(harness.ShardSweep(sc, m, shardCounts, sgd.PersistenceInf))
+	case "autotune":
+		// Closed-loop follow-up to the shards step: the AutoShard
+		// controller against the static sweep, with the S-trajectory and
+		// re-shard count on the auto row.
+		m := threads[len(threads)-1] * 2
+		emit(harness.AutoShardSweep(sc, m, shardCounts, sgd.PersistenceInf))
 	case "fig9":
 		archs := []harness.Arch{harness.SmallMLP, harness.SmallCNN}
 		if sc.Arch == harness.PaperMLP || sc.Arch == harness.PaperCNN {
@@ -233,9 +239,9 @@ func parseArch(s string) (harness.Arch, error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  leashed run <s1|s1-eta|s2|s3|s4|s5|fig9|shards> [flags]
+  leashed run <s1|s1-eta|s2|s3|s4|s5|fig9|shards|autotune> [flags]
   leashed run-all [flags]
-  leashed train [-algo LSH] [-arch mlp] [-workers N] [-shards S] [-json] [-ckpt FILE] ...
+  leashed train [-algo LSH] [-arch mlp] [-workers N] [-shards S] [-autoshard] [-json] [-ckpt FILE] ...
   leashed table1
 flags: -scale small|paper -arch A -threads 1,2,4 -trials N -budget DUR -shards 1,2,4,8 -csv FILE`)
 }

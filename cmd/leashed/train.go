@@ -23,6 +23,7 @@ func runTrain(args []string) {
 	batch := fs.Int("batch", 16, "mini-batch size")
 	persistence := fs.Int("persistence", leashedsgd.PersistenceInf, "LSH persistence bound Tp (-1 = inf)")
 	shards := fs.Int("shards", 1, "published-vector shard count (LSH/HOG; 1 = paper's single chain)")
+	autoShard := fs.Bool("autoshard", false, "autotune the shard count from observed contention (LSH; excludes -shards)")
 	epsilon := fs.Float64("epsilon", 0.25, "convergence target as fraction of initial loss (0 = run to budget)")
 	budget := fs.Duration("budget", 60*time.Second, "time budget")
 	samples := fs.Int("samples", 1024, "dataset size")
@@ -78,6 +79,7 @@ func runTrain(args []string) {
 		BatchSize:       *batch,
 		Persistence:     *persistence,
 		Shards:          *shards,
+		AutoShard:       *autoShard,
 		EpsilonFrac:     *epsilon,
 		MaxTime:         *budget,
 		Seed:            *seed,
@@ -112,6 +114,8 @@ func runTrain(args []string) {
 			"staleness_mean":    res.Staleness.Mean(),
 			"staleness_max":     res.Staleness.Max(),
 			"failed_cas":        res.FailedCAS,
+			"publishes":         res.Publishes,
+			"failed_per_pub":    res.FailedPerPublish(),
 			"dropped_updates":   res.DroppedUpdates,
 			"peak_live_vectors": res.PeakLiveVectors,
 			"shards":            res.Shards,
@@ -121,6 +125,10 @@ func runTrain(args []string) {
 			out["shard_dropped"] = res.ShardDropped
 			out["shard_publishes"] = res.ShardPublishes
 			out["shard_staleness_mean"] = res.ShardStalenessMean
+		}
+		if res.ShardTrajectory != nil {
+			out["shard_trajectory"] = res.ShardTrajectory
+			out["reshards"] = res.Reshards
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -139,6 +147,10 @@ func runTrain(args []string) {
 	fmt.Printf("\nstaleness mean %.2f max %d; %.3f ms/update\n",
 		res.Staleness.Mean(), res.Staleness.Max(),
 		float64(res.TimePerUpdate())/float64(time.Millisecond))
+	if res.ShardTrajectory != nil {
+		fmt.Printf("autoshard trajectory %v (%d reshards, final S=%d)\n",
+			res.ShardTrajectory, res.Reshards, res.Shards)
+	}
 	if *ckpt != "" {
 		fmt.Printf("checkpoint written to %s\n", *ckpt)
 	}

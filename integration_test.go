@@ -51,8 +51,8 @@ func TestTrainCheckpointResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The checkpointed model must be meaningfully trained: below the 60%
-	// target on the full dataset (the monitor's eval subset is a prefix,
-	// so allow slack) and better than random guessing.
+	// target on the full dataset (the monitor evaluates a seeded random
+	// subset, so allow slack) and better than random guessing.
 	if loss2 > res.InitialLoss*0.8 {
 		t.Fatalf("restored loss %v barely below initial %v", loss2, res.InitialLoss)
 	}
@@ -80,14 +80,11 @@ func TestSeqDeterministicGivenUpdateBudget(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res.TotalUpdates < 120 {
-			t.Fatalf("budget not consumed: %d", res.TotalUpdates)
-		}
-		// The worker may overshoot the budget by the updates in flight
-		// when the check fires; truncate semantics: compare only runs
-		// that applied the same count.
+		// The budget is exact by contract: workers reserve budget units
+		// atomically before applying, so every bounded run applies the
+		// same update count and the comparison below is always valid.
 		if res.TotalUpdates != 120 {
-			t.Skipf("budget overshoot (%d updates), determinism comparison not applicable", res.TotalUpdates)
+			t.Fatalf("budget not exact: %d updates, want 120", res.TotalUpdates)
 		}
 		return res.FinalParams
 	}

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"leashedsgd/internal/metrics"
@@ -223,13 +224,10 @@ func ShardSweep(sc Scale, workers int, shardCounts []int, persistence int) *repo
 	for _, spec := range ShardedAlgos(persistence, shardCounts) {
 		cell := RunCell(s, spec, workers, 0, s.Eta, false)
 		res := cell.Results[0]
-		publishes := res.TotalUpdates
 		spread := "-"
 		if len(res.ShardPublishes) > 0 {
-			publishes = 0
 			lo, hi := res.ShardPublishes[0], res.ShardPublishes[0]
 			for _, p := range res.ShardPublishes {
-				publishes += p
 				if p < lo {
 					lo = p
 				}
@@ -239,21 +237,59 @@ func ShardSweep(sc Scale, workers int, shardCounts []int, persistence int) *repo
 			}
 			spread = fmt.Sprintf("%d..%d", lo, hi)
 		}
-		var failedPerPub float64
-		if publishes > 0 {
-			failedPerPub = float64(res.FailedCAS) / float64(publishes)
-		}
 		tbl.AddRow(
 			fmt.Sprintf("%d", res.Shards),
 			fmt.Sprintf("%d", res.TotalUpdates),
-			fmt.Sprintf("%d", publishes),
+			fmt.Sprintf("%d", res.Publishes),
 			fmt.Sprintf("%d", res.FailedCAS),
-			fmt.Sprintf("%.4f", failedPerPub),
+			fmt.Sprintf("%.4f", res.FailedPerPublish()),
 			fmt.Sprintf("%d", res.DroppedUpdates),
 			fmt.Sprintf("%.2f", res.Staleness.Mean()),
 			fmt.Sprintf("%.3f", float64(res.TimePerUpdate())/float64(time.Millisecond)),
 			spread)
 	}
+	return tbl
+}
+
+// AutoShardSweep compares the AutoShard controller against the static
+// shard-count sweep on the same profiling workload (extension; the
+// closed-loop follow-up to ShardSweep): one run per static S plus one
+// autotuned run, each reporting contention per publish and efficiency, with
+// the controller's S-trajectory and re-shard count on the auto row. The
+// controller's final S landing within one doubling of the best static row's
+// knee is the convergence claim BenchmarkAutoShard checks.
+func AutoShardSweep(sc Scale, workers int, shardCounts []int, persistence int) *report.Table {
+	tbl := report.NewTable(
+		fmt.Sprintf("AutoShard: controller vs static shard sweep, m=%d Tp=%d [%s]",
+			workers, persistence, sc.Arch),
+		"config", "S", "iters", "failed/pub", "dropped", "ms/iter", "trajectory", "reshards")
+	s := sc
+	s.Trials = 1
+	addRow := func(name string, res *sgd.Result) {
+		trajectory := "-"
+		if len(res.ShardTrajectory) > 0 {
+			parts := make([]string, len(res.ShardTrajectory))
+			for i, v := range res.ShardTrajectory {
+				parts[i] = fmt.Sprintf("%d", v)
+			}
+			trajectory = strings.Join(parts, ">")
+		}
+		tbl.AddRow(name,
+			fmt.Sprintf("%d", res.Shards),
+			fmt.Sprintf("%d", res.TotalUpdates),
+			fmt.Sprintf("%.4f", res.FailedPerPublish()),
+			fmt.Sprintf("%d", res.DroppedUpdates),
+			fmt.Sprintf("%.3f", float64(res.TimePerUpdate())/float64(time.Millisecond)),
+			trajectory,
+			fmt.Sprintf("%d", res.Reshards))
+	}
+	for _, spec := range ShardedAlgos(persistence, shardCounts) {
+		cell := RunCell(s, spec, workers, 0, s.Eta, false)
+		addRow(spec.Name, cell.Results[0])
+	}
+	auto := AlgoSpec{Name: "LSH_auto", Algo: sgd.Leashed, Persistence: persistence, AutoShard: true}
+	cell := RunCell(s, auto, workers, 0, s.Eta, false)
+	addRow(auto.Name, cell.Results[0])
 	return tbl
 }
 

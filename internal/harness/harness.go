@@ -127,6 +127,10 @@ type AlgoSpec struct {
 	// Shards is the published-vector shard count (0 = single chain). Only
 	// Leashed/LeashedAdaptive/Hogwild consume it; see sgd.Config.Shards.
 	Shards int
+	// AutoShard enables the contention-adaptive shard-count controller
+	// instead of a fixed Shards (Leashed variants only; see
+	// sgd.Config.AutoShard).
+	AutoShard bool
 }
 
 // ShardedAlgos returns the Leashed configurations across a shard-count
@@ -194,6 +198,7 @@ func RunCell(sc Scale, spec AlgoSpec, workers int, epsilon, eta float64, sampleT
 			BatchSize:    sc.BatchSize,
 			Persistence:  spec.Persistence,
 			Shards:       spec.Shards,
+			AutoShard:    spec.AutoShard,
 			Seed:         sc.Seed + uint64(trial)*7919,
 			EpsilonFrac:  epsilon,
 			MaxTime:      sc.MaxTime,

@@ -1,6 +1,7 @@
 package sgd
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -38,6 +39,10 @@ func (rt *runCtx) launchAsync(wg *sync.WaitGroup, initVec *paramvec.Vector) (sna
 				velocity = make([]float64, rt.d)
 			}
 			for !rt.stop.Load() && !rt.budgetExhausted() {
+				if rt.budgetFullyReserved() {
+					runtime.Gosched() // final in-flight updates draining
+					continue
+				}
 				// Read phase: copy the shared parameters under the lock.
 				mtx.Lock()
 				localParam.CopyFrom(shared)
@@ -57,8 +62,15 @@ func (rt *runCtx) launchAsync(wg *sync.WaitGroup, initVec *paramvec.Vector) (sna
 				}
 				step := rt.effectiveStep(localGrad.Theta, velocity)
 
-				// Update phase (Tu) under the lock.
+				// Update phase (Tu) under the lock. The budget unit is
+				// reserved and applied inside the same critical section,
+				// so a failed reservation means the budget is exactly
+				// spent and the outer loop exits on budgetExhausted.
 				mtx.Lock()
+				if !rt.reserveUpdate() {
+					mtx.Unlock()
+					continue
+				}
 				if cfg.SampleTiming {
 					t0 = time.Now()
 				}
@@ -66,7 +78,7 @@ func (rt *runCtx) launchAsync(wg *sync.WaitGroup, initVec *paramvec.Vector) (sna
 				if cfg.SampleTiming {
 					tu.Observe(time.Since(t0))
 				}
-				applied := rt.updates.Add(1)
+				applied := rt.applyUpdate()
 				mtx.Unlock()
 				// Staleness: updates applied between our read and ours
 				// (our own update excluded).

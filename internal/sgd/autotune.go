@@ -1,0 +1,315 @@
+// Contention-adaptive shard-count autotuning (Config.AutoShard).
+//
+// PR 1 made the shard count S a static knob and showed the failed-CAS rate
+// falls ~1/S; this file closes the loop and picks S at runtime from the
+// observed contention — the adaptive-partitioning move multiuser capacity
+// models make when allocating a shared medium across stations, applied to
+// the publish CAS. A controller samples the failed-CAS-per-publish rate over
+// a window and hill-climbs S (doubling under contention, halving when
+// uncontended) with hysteresis against thrash. Each re-shard quiesces the
+// workers at a barrier (the epoch RWMutex), takes a cross-shard-consistent
+// snapshot of the old cell, and republishes it into a fresh ShardedShared
+// with the new S.
+
+package sgd
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"leashedsgd/internal/paramvec"
+)
+
+// Default decision thresholds of the shard-count autotuner. Exported so the
+// offline "knee" rule in BenchmarkAutoShard (and any external analysis of a
+// static sweep) can mirror the online controller exactly.
+const (
+	// AutoShardClimbRate is the windowed failed-CAS-per-publish rate above
+	// which doubling the shard count is attractive.
+	AutoShardClimbRate = 0.05
+	// AutoShardDescendRate is the rate below which halving the shard count
+	// is attractive (the contention a single chain would absorb anyway).
+	AutoShardDescendRate = 0.005
+	// AutoShardImprove is the acceptance bar for a climb: the post-move
+	// rate must fall to ≤ this fraction of the pre-move rate (the ~1/S
+	// prediction gives 0.5; 0.75 leaves room for noise), otherwise the
+	// climb is reverted.
+	AutoShardImprove = 0.75
+
+	// autoShardWorsen scales the pre-move rate into the climb bar after a
+	// rejected climb: contention must grow this much past the steady rate
+	// before another climb is attempted (anti-thrash hysteresis).
+	autoShardWorsen = 1.5
+	// autoShardMinPubs is the minimum number of publishes a window needs
+	// to carry a usable contention signal.
+	autoShardMinPubs = 64
+	// autoShardCool is how many observation windows are skipped after
+	// every re-shard, letting the new configuration warm up before it is
+	// judged.
+	autoShardCool = 1
+)
+
+// shardTuner is the pure decision core of the autotuner: a hill-climber on
+// the windowed failed-CAS-per-publish rate with move evaluation and dynamic
+// thresholds as hysteresis. It is deliberately free of clocks and atomics so
+// the controller policy is unit-testable by feeding synthetic windows.
+type shardTuner struct {
+	s          int
+	minS, maxS int
+
+	wait    int     // observation windows left to skip (post-move cooldown)
+	pending int     // pre-move shard count while a move awaits evaluation (0 = none)
+	preRate float64 // rate measured in the window that triggered the pending move
+	upBar   float64 // dynamic climb threshold (raised after a rejected climb)
+	downBar float64 // dynamic descent threshold (lowered after a rejected descent)
+}
+
+func newShardTuner(s0, maxS int) *shardTuner {
+	if maxS < 1 {
+		maxS = 1
+	}
+	if s0 < 1 {
+		s0 = 1
+	}
+	if s0 > maxS {
+		s0 = maxS
+	}
+	return &shardTuner{
+		s:       s0,
+		minS:    1,
+		maxS:    maxS,
+		upBar:   AutoShardClimbRate,
+		downBar: AutoShardDescendRate,
+	}
+}
+
+// observe feeds one window's failed-CAS and publish counts and returns the
+// shard count for the next window, plus whether that is a change (a re-shard
+// request). The policy:
+//
+//   - a window with too few publishes carries no signal and never moves;
+//   - after any move, one cooldown window is skipped, then the move is
+//     evaluated: a climb must cut the rate to ≤ AutoShardImprove× the
+//     pre-move rate or it is reverted and the climb bar raised to
+//     autoShardWorsen× the steady rate (so steady contention cannot make the
+//     controller oscillate); a descent that pushes the rate back over the
+//     climb bar is reverted and the descent bar halved below the rate that
+//     triggered it;
+//   - otherwise the controller climbs (S×2) when the rate exceeds the climb
+//     bar and descends (S/2) when it falls below the descent bar.
+func (t *shardTuner) observe(failed, pubs int64) (int, bool) {
+	if pubs < autoShardMinPubs {
+		return t.s, false
+	}
+	rate := float64(failed) / float64(pubs)
+	if t.wait > 0 {
+		t.wait--
+		return t.s, false
+	}
+	if prev := t.pending; prev != 0 {
+		t.pending = 0
+		switch {
+		case t.s > prev && rate > AutoShardImprove*t.preRate:
+			// The climb did not pay: revert, and demand substantially
+			// more contention than the steady rate before climbing again.
+			t.upBar = autoShardWorsen * t.preRate
+			return t.jump(prev), true
+		case t.s < prev && rate >= t.upBar:
+			// The descent reintroduced contention: revert, and demand
+			// substantially less contention before descending again.
+			t.downBar = t.preRate / 2
+			return t.jump(prev), true
+		}
+		// Move accepted; fall through — the new steady rate may justify
+		// the next step immediately.
+	}
+	switch {
+	case rate > t.upBar && t.s < t.maxS:
+		t.pending, t.preRate = t.s, rate
+		return t.jump(min(2*t.s, t.maxS)), true
+	case rate < t.downBar && t.s > t.minS:
+		t.pending, t.preRate = t.s, rate
+		return t.jump(max(t.s/2, t.minS)), true
+	}
+	return t.s, false
+}
+
+// jump moves to shard count s and starts the post-move cooldown.
+func (t *shardTuner) jump(s int) int {
+	t.s = s
+	t.wait = autoShardCool
+	return s
+}
+
+// autoTuner owns the live shard epoch of an autotuned run plus the
+// cross-epoch accounting. The RWMutex is the quiescing barrier: workers hold
+// the read side for exactly one iteration, the controller takes the write
+// side to re-shard, which by construction waits until every in-flight
+// iteration has drained and blocks new ones — at that point there are no
+// publishers, so a consistent snapshot validates on the first attempt.
+type autoTuner struct {
+	mu    sync.RWMutex
+	epoch *shardEpoch
+
+	tuner      *shardTuner
+	trajectory []int
+	buf        []float64 // re-shard snapshot carrier (full dimension)
+
+	// Retired-epoch accumulators: contention totals, and pool accounting
+	// in full-vector equivalents (peak is a max across epochs — they are
+	// disjoint in time; allocations and reuses accumulate).
+	failedAcc, droppedAcc, pubAcc int64
+	peakEq, allocsEq, reusesEq    int64
+}
+
+// totals returns the run-wide failed-CAS and publish counts (retired epochs
+// plus the live one), the controller's windowed-rate inputs.
+func (at *autoTuner) totals() (failed, pubs int64) {
+	at.mu.RLock()
+	defer at.mu.RUnlock()
+	failed, pubs = at.failedAcc, at.pubAcc
+	e := at.epoch
+	for s := range e.failed {
+		failed += e.failed[s].n.Load()
+		pubs += e.pub[s].n.Load()
+	}
+	return failed, pubs
+}
+
+// liveEq is the live shard-buffer gauge in full-vector equivalents.
+func (at *autoTuner) liveEq() int64 {
+	at.mu.RLock()
+	defer at.mu.RUnlock()
+	s := int64(at.epoch.ss.NumShards())
+	return (at.epoch.ss.Live() + s - 1) / s
+}
+
+// foldRetired rolls a retiring epoch's counters and pool accounting into the
+// cross-epoch accumulators. Caller holds the write lock.
+func (at *autoTuner) foldRetired(e *shardEpoch) {
+	for s := range e.failed {
+		at.failedAcc += e.failed[s].n.Load()
+		at.droppedAcc += e.dropped[s].n.Load()
+		at.pubAcc += e.pub[s].n.Load()
+	}
+	peak, allocs, reuses := poolEquivalents(e.ss)
+	if peak > at.peakEq {
+		at.peakEq = peak
+	}
+	at.allocsEq += allocs
+	at.reusesEq += reuses
+}
+
+// reshard quiesces the workers, carries the parameters from the old epoch
+// into a fresh ShardedShared with newS shards, and retires the old one.
+func (at *autoTuner) reshard(rt *runCtx, newS int) {
+	at.mu.Lock()
+	defer at.mu.Unlock()
+	old := at.epoch
+	// Every worker is quiesced behind the write lock, so no publisher can
+	// interleave and validation succeeds on the first attempt; the attempt
+	// budget only guards the (unreachable) racing case, in which the last
+	// per-shard-untorn copy is still a correct parameter state to carry.
+	old.ss.SnapshotConsistent(at.buf, 4)
+	at.foldRetired(old)
+	old.ss.Retire()
+	at.epoch = newShardEpoch(rt.d, newS, at.buf)
+	at.trajectory = append(at.trajectory, at.epoch.ss.NumShards())
+}
+
+// fill records the autotuned run's measurements into res: the final per-shard
+// breakdown, cross-epoch contention totals, the S-trajectory, and the shard
+// pools' memory accounting in full-vector equivalents. Called from Run after
+// the workers and the controller have exited; no locking needed.
+func (at *autoTuner) fill(res *Result) {
+	e := at.epoch
+	e.rollup(res) // final epoch's per-shard breakdown + totals
+	res.Shards = e.ss.NumShards()
+	// Layer the retired epochs' totals on top of the final epoch's.
+	res.FailedCAS += at.failedAcc
+	res.DroppedUpdates += at.droppedAcc
+	res.Publishes += at.pubAcc
+	res.ShardTrajectory = append([]int(nil), at.trajectory...)
+	res.Reshards = len(at.trajectory) - 1
+
+	peak, allocs, reuses := poolEquivalents(e.ss)
+	if at.peakEq > peak {
+		peak = at.peakEq
+	}
+	res.PeakLiveVectors += peak
+	res.BufferAllocs += at.allocsEq + allocs
+	res.BufferReuses += at.reusesEq + reuses
+}
+
+// launchLeashedAuto starts Leashed-SGD workers over an autotuned sharded
+// published vector (Config.AutoShard): the worker loop is exactly the
+// sharded one (shardedIter), but each iteration runs under the epoch read
+// lock so the controller goroutine can re-shard between iterations. The
+// controller wakes every AutoShardWindow, feeds the windowed failed-CAS and
+// publish deltas to the shardTuner, and executes any requested re-shard.
+func (rt *runCtx) launchLeashedAuto(wg *sync.WaitGroup, initVec *paramvec.Vector) (snapshot func([]float64), cleanup func()) {
+	cfg := rt.cfg
+	maxS := min(cfg.AutoShardMax, rt.d)
+	at := &autoTuner{
+		tuner: newShardTuner(cfg.AutoShardInitial, maxS),
+		buf:   make([]float64, rt.d),
+	}
+	at.epoch = newShardEpoch(rt.d, at.tuner.s, initVec.Theta)
+	at.trajectory = []int{at.epoch.ss.NumShards()}
+	initVec.Release() // contents now live in the per-shard chains
+	rt.auto = at
+
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker := rt.newShardedWorker(id)
+			defer worker.close()
+			for !rt.stop.Load() && !rt.budgetExhausted() {
+				if rt.budgetFullyReserved() {
+					runtime.Gosched() // final in-flight updates draining
+					continue
+				}
+				at.mu.RLock()
+				rt.shardedIter(at.epoch, worker)
+				at.mu.RUnlock()
+			}
+		}(w)
+	}
+
+	// Controller: windowed observation + hill-climb.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(cfg.AutoShardWindow)
+		defer ticker.Stop()
+		var prevFailed, prevPubs int64
+		for !rt.stop.Load() {
+			select {
+			case <-ticker.C:
+			case <-rt.done:
+				return
+			case <-rt.stopped:
+				return
+			}
+			failed, pubs := at.totals()
+			newS, changed := at.tuner.observe(failed-prevFailed, pubs-prevPubs)
+			prevFailed, prevPubs = failed, pubs
+			if changed && !rt.stop.Load() {
+				at.reshard(rt, newS)
+			}
+		}
+	}()
+
+	var seqs []int64
+	snapshot = func(dst []float64) {
+		at.mu.RLock()
+		seqs = at.epoch.ss.Snapshot(dst, seqs)
+		at.mu.RUnlock()
+	}
+	cleanup = func() {
+		at.epoch.ss.Retire()
+	}
+	return snapshot, cleanup
+}

@@ -1,0 +1,220 @@
+package sgd
+
+import (
+	"testing"
+	"time"
+)
+
+// feed drives the tuner with n windows of a fixed failed/pub observation and
+// returns the number of re-shards plus the final shard count.
+func feed(t *shardTuner, n int, failed, pubs int64) (moves int, s int) {
+	s = t.s
+	for i := 0; i < n; i++ {
+		var changed bool
+		s, changed = t.observe(failed, pubs)
+		if changed {
+			moves++
+		}
+	}
+	return moves, s
+}
+
+// TestShardTunerNoThrashUnderSteadyContention: when doubling S does not
+// improve the rate (the contention is not CAS-induced), the controller must
+// try once, revert, and then hold still — not oscillate forever.
+func TestShardTunerNoThrashUnderSteadyContention(t *testing.T) {
+	tn := newShardTuner(1, 8)
+	moves, s := feed(tn, 100, 200, 1000) // rate 0.2, flat regardless of S
+	if s != 1 {
+		t.Fatalf("settled at S=%d, want 1 (climb should have been reverted)", s)
+	}
+	if moves != 2 {
+		t.Fatalf("%d re-shards under steady contention, want exactly 2 (probe + revert)", moves)
+	}
+}
+
+// TestShardTunerClimbsWhileContentionFalls: with the ~1/S contention law the
+// sharded layer measures, the controller must climb monotonically to the
+// first S whose rate clears the climb threshold.
+func TestShardTunerClimbsWhileContentionFalls(t *testing.T) {
+	tn := newShardTuner(1, 8)
+	var moves int
+	s := tn.s
+	for i := 0; i < 50; i++ {
+		rate := 0.4 / float64(s) // failed-CAS falls as 1/S
+		var changed bool
+		s, changed = tn.observe(int64(rate*10000), 10000)
+		if changed {
+			moves++
+		}
+	}
+	if s != 8 {
+		t.Fatalf("settled at S=%d, want 8 (0.4/S stays above %v until S=8)", s, AutoShardClimbRate)
+	}
+	if moves != 3 {
+		t.Fatalf("%d re-shards, want 3 accepted climbs (1→2→4→8) with no reverts", moves)
+	}
+}
+
+// TestShardTunerDescendsWhenUncontended: a run whose contention evaporates
+// (fewer workers than shards) should fold back toward the single chain.
+func TestShardTunerDescendsWhenUncontended(t *testing.T) {
+	tn := newShardTuner(8, 8)
+	_, s := feed(tn, 50, 0, 10000) // zero contention
+	if s != 1 {
+		t.Fatalf("settled at S=%d, want 1", s)
+	}
+}
+
+// TestShardTunerDescentReverts: a descent that reintroduces contention past
+// the climb bar is undone, and the lowered descent bar blocks an immediate
+// retry at the rate that triggered the failed descent.
+func TestShardTunerDescentReverts(t *testing.T) {
+	tn := newShardTuner(2, 8)
+	low := int64(10) // rate 0.001 < descend threshold
+	s, changed := tn.observe(low, 10000)
+	if !changed || s != 1 {
+		t.Fatalf("expected descent to 1, got S=%d changed=%v", s, changed)
+	}
+	tn.observe(low, 10000) // cooldown window
+	// Halving doubled the per-chain pressure past the climb bar: revert.
+	s, changed = tn.observe(800, 10000) // rate 0.08 ≥ climb bar
+	if !changed || s != 2 {
+		t.Fatalf("expected revert to 2, got S=%d changed=%v", s, changed)
+	}
+	tn.observe(low, 10000) // cooldown window
+	// The original low rate no longer clears the (halved) descent bar.
+	if _, changed = tn.observe(low, 10000); changed {
+		t.Fatal("descent retried at the rate that just failed")
+	}
+}
+
+// TestShardTunerIgnoresEmptyWindows: windows without enough publishes carry
+// no signal and must never trigger a move.
+func TestShardTunerIgnoresEmptyWindows(t *testing.T) {
+	tn := newShardTuner(1, 8)
+	if moves, _ := feed(tn, 50, 30, 32); moves != 0 {
+		t.Fatalf("%d re-shards from sub-minimum windows, want 0", moves)
+	}
+}
+
+// --- end-to-end autotuned runs -------------------------------------------
+
+func autoConfig(workers int) Config {
+	cfg := testConfig(Leashed, workers)
+	cfg.AutoShard = true
+	cfg.AutoShardWindow = 5 * time.Millisecond
+	return cfg
+}
+
+func TestAutoShardConverges(t *testing.T) {
+	ds := tinyDataset()
+	res := runOrFatal(t, autoConfig(4), tinyNet(ds), ds)
+	if res.Outcome != Converged {
+		t.Fatalf("AutoShard outcome = %v (loss %v -> %v)", res.Outcome, res.InitialLoss, res.FinalLoss)
+	}
+	if res.FinalLiveVectors != 0 {
+		t.Fatalf("leak: %d vectors live after run", res.FinalLiveVectors)
+	}
+}
+
+func TestAutoShardReportsTrajectory(t *testing.T) {
+	ds := tinyDataset()
+	cfg := autoConfig(4)
+	cfg.EpsilonFrac = 0
+	cfg.MaxUpdates = 400
+	res := runOrFatal(t, cfg, tinyNet(ds), ds)
+	if len(res.ShardTrajectory) == 0 || res.ShardTrajectory[0] != 1 {
+		t.Fatalf("trajectory %v, want first entry S0=1", res.ShardTrajectory)
+	}
+	if got := res.ShardTrajectory[len(res.ShardTrajectory)-1]; got != res.Shards {
+		t.Fatalf("trajectory ends at %d but Result.Shards = %d", got, res.Shards)
+	}
+	if res.Reshards != len(res.ShardTrajectory)-1 {
+		t.Fatalf("Reshards = %d, want %d", res.Reshards, len(res.ShardTrajectory)-1)
+	}
+	if len(res.ShardFailedCAS) != res.Shards || len(res.ShardPublishes) != res.Shards {
+		t.Fatalf("per-shard breakdown lengths %d/%d, want %d",
+			len(res.ShardFailedCAS), len(res.ShardPublishes), res.Shards)
+	}
+	if res.TotalUpdates != 400 {
+		t.Fatalf("TotalUpdates = %d, want the exact budget 400", res.TotalUpdates)
+	}
+	if res.FinalLiveVectors != 0 {
+		t.Fatalf("leak: %d vectors live after run", res.FinalLiveVectors)
+	}
+}
+
+func TestAutoShardInitialRespected(t *testing.T) {
+	ds := tinyDataset()
+	cfg := autoConfig(2)
+	cfg.AutoShardInitial = 4
+	cfg.EpsilonFrac = 0
+	cfg.MaxUpdates = 150
+	res := runOrFatal(t, cfg, tinyNet(ds), ds)
+	if res.ShardTrajectory[0] != 4 {
+		t.Fatalf("trajectory %v, want S0=4", res.ShardTrajectory)
+	}
+}
+
+// TestAutoShardDescendsUncontendedRun exercises the full re-shard machinery
+// (quiesce barrier, consistent snapshot, republish into a fresh cell)
+// deterministically on any host: a single worker generates zero contention,
+// so a run started at S0=8 must descend toward the single chain — each
+// accepted halving is one full epoch swap — while training keeps converging
+// across the epoch boundaries. How far it gets within the time budget
+// depends on host speed (the race detector slows windows below the
+// minimum-publish signal bar), so the assertion is strict monotone descent
+// with at least one re-shard, not full convergence to S=1.
+func TestAutoShardDescendsUncontendedRun(t *testing.T) {
+	ds := tinyDataset()
+	cfg := autoConfig(1)
+	cfg.AutoShardInitial = 8
+	cfg.EpsilonFrac = 0
+	cfg.MaxTime = 2 * time.Second
+	res := runOrFatal(t, cfg, tinyNet(ds), ds)
+	if res.Reshards < 1 || res.Shards >= 8 {
+		t.Fatalf("uncontended run never descended: trajectory %v", res.ShardTrajectory)
+	}
+	for i := 1; i < len(res.ShardTrajectory); i++ {
+		if res.ShardTrajectory[i] != res.ShardTrajectory[i-1]/2 {
+			t.Fatalf("trajectory %v not a strict halving descent", res.ShardTrajectory)
+		}
+	}
+	if res.FailedCAS != 0 || res.DroppedUpdates != 0 {
+		t.Fatalf("1-worker autotuned run had contention: failed=%d dropped=%d",
+			res.FailedCAS, res.DroppedUpdates)
+	}
+	// Publishes spans every epoch: with one worker, each of the
+	// TotalUpdates iterations published all S-at-the-time shards, so the
+	// cross-epoch total must strictly exceed the final epoch's share and
+	// be at least one publish per applied update.
+	var finalEpoch int64
+	for _, p := range res.ShardPublishes {
+		finalEpoch += p
+	}
+	if res.Publishes < finalEpoch || res.Publishes < res.TotalUpdates {
+		t.Fatalf("Publishes = %d, want ≥ final-epoch sum %d and ≥ TotalUpdates %d",
+			res.Publishes, finalEpoch, res.TotalUpdates)
+	}
+	if res.FinalLiveVectors != 0 {
+		t.Fatalf("leak across epochs: %d vectors live after run", res.FinalLiveVectors)
+	}
+	if res.Outcome != Converged {
+		t.Fatalf("profiling run outcome = %v", res.Outcome)
+	}
+}
+
+func TestAutoShardConfigValidation(t *testing.T) {
+	ds := tinyDataset()
+	cfg := autoConfig(2)
+	cfg.Shards = 4
+	if _, err := Run(cfg, tinyNet(ds), ds); err == nil {
+		t.Fatal("AutoShard with fixed Shards accepted")
+	}
+	cfg = autoConfig(2)
+	cfg.Algo = Hogwild
+	if _, err := Run(cfg, tinyNet(ds), ds); err == nil {
+		t.Fatal("AutoShard with HOGWILD accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package sgd
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -58,6 +59,10 @@ func (rt *runCtx) launchHogwild(wg *sync.WaitGroup, initVec *paramvec.Vector) (s
 			}
 			iter := 0
 			for !rt.stop.Load() && !rt.budgetExhausted() {
+				if rt.budgetFullyReserved() {
+					runtime.Gosched() // final in-flight sweeps draining
+					continue
+				}
 				iter++
 				// Uncoordinated read: other workers may be mid-update,
 				// so this view can mix parameter versions (inconsistent).
@@ -77,6 +82,15 @@ func (rt *runCtx) launchHogwild(wg *sync.WaitGroup, initVec *paramvec.Vector) (s
 					tc.Observe(time.Since(t0))
 				}
 				step := rt.effectiveStep(localGrad.Theta, velocity)
+
+				// Reserve a budget unit before touching the shared array:
+				// HOGWILD has no abort path, so a reservation is always
+				// applied and the budget stays exact. On failure the
+				// in-flight sweeps of the final budgeted updates are still
+				// draining; re-check the stop conditions.
+				if !rt.reserveUpdate() {
+					continue
+				}
 
 				// Uncoordinated component-wise update.
 				if cfg.SampleTiming {
@@ -103,7 +117,7 @@ func (rt *runCtx) launchHogwild(wg *sync.WaitGroup, initVec *paramvec.Vector) (s
 				if cfg.SampleTiming {
 					tu.Observe(time.Since(t0))
 				}
-				applied := rt.updates.Add(1)
+				applied := rt.applyUpdate()
 				hist.Observe(applied - 1 - readSeq)
 			}
 		}(w)

@@ -1,6 +1,7 @@
 package sgd
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -56,6 +57,10 @@ func (rt *runCtx) launchLeashed(wg *sync.WaitGroup, initVec *paramvec.Vector) (s
 				localBound = 4
 			}
 			for !rt.stop.Load() && !rt.budgetExhausted() {
+				if rt.budgetFullyReserved() {
+					runtime.Gosched() // final in-flight updates draining
+					continue
+				}
 				// (1) Gradient against the published vector, in place.
 				latest := shared.Latest()
 				readT := latest.T
@@ -72,7 +77,14 @@ func (rt *runCtx) launchLeashed(wg *sync.WaitGroup, initVec *paramvec.Vector) (s
 				latest.StopReading()
 				step := rt.effectiveStep(localGrad.Theta, velocity)
 
-				// (2) LAU-SPC loop.
+				// (2) LAU-SPC loop, under one reserved unit of the
+				// update budget. If the budget is fully claimed the
+				// gradient is discarded; when an in-flight claim is
+				// refunded the outer loop tries again, otherwise it
+				// exits on budgetExhausted.
+				if !rt.reserveUpdate() {
+					continue
+				}
 				newParam := paramvec.New(rt.pool)
 				numTries := 0
 				published := false
@@ -90,7 +102,7 @@ func (rt *runCtx) launchLeashed(wg *sync.WaitGroup, initVec *paramvec.Vector) (s
 					}
 					if ok {
 						published = true
-						rt.updates.Add(1)
+						rt.applyUpdate()
 						// Staleness: publishes between the gradient's
 						// source vector and this one, exclusive.
 						hist.Observe(newParam.T - 1 - readT)
@@ -107,6 +119,9 @@ func (rt *runCtx) launchLeashed(wg *sync.WaitGroup, initVec *paramvec.Vector) (s
 						newParam.Release()
 						break
 					}
+				}
+				if !published {
+					rt.refundUpdate()
 				}
 				if adaptive {
 					if published && numTries == 0 {

@@ -1,12 +1,242 @@
 package sgd
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
 	"leashedsgd/internal/data"
+	"leashedsgd/internal/metrics"
+	"leashedsgd/internal/nn"
 	"leashedsgd/internal/paramvec"
 )
+
+// shardEpoch bundles one generation of sharded publication state with its
+// per-shard instrumentation. The static launcher below keeps a single epoch
+// for the whole run; the autotuning launcher (autotune.go) retires the epoch
+// and installs a fresh one, with a different shard count, each time the
+// controller re-shards.
+type shardEpoch struct {
+	ss                          *paramvec.ShardedShared
+	failed, dropped, pub, stale []paddedCounter
+}
+
+// newShardEpoch builds a sharded cell of the given shard count, publishes
+// theta into it, and allocates fresh per-shard counters.
+func newShardEpoch(dim, shards int, theta []float64) *shardEpoch {
+	ss := paramvec.NewSharded(dim, shards)
+	ss.PublishInit(theta)
+	n := ss.NumShards()
+	return &shardEpoch{
+		ss:      ss,
+		failed:  newCounters(n),
+		dropped: newCounters(n),
+		pub:     newCounters(n),
+		stale:   newCounters(n),
+	}
+}
+
+// rollup fills res's per-shard breakdown from the epoch's counters and folds
+// the sums into the aggregate contention totals. res.Publishes is reset to
+// the epoch's per-shard sum; callers with cross-epoch history (the autotuner)
+// layer their accumulators on top.
+func (e *shardEpoch) rollup(res *Result) {
+	S := len(e.failed)
+	res.ShardFailedCAS = make([]int64, S)
+	res.ShardDropped = make([]int64, S)
+	res.ShardPublishes = make([]int64, S)
+	res.ShardStalenessMean = make([]float64, S)
+	res.Publishes = 0
+	for s := 0; s < S; s++ {
+		res.ShardFailedCAS[s] = e.failed[s].n.Load()
+		res.ShardDropped[s] = e.dropped[s].n.Load()
+		res.ShardPublishes[s] = e.pub[s].n.Load()
+		if pub := res.ShardPublishes[s]; pub > 0 {
+			res.ShardStalenessMean[s] = float64(e.stale[s].n.Load()) / float64(pub)
+		}
+		res.FailedCAS += res.ShardFailedCAS[s]
+		res.DroppedUpdates += res.ShardDropped[s]
+		res.Publishes += res.ShardPublishes[s]
+	}
+}
+
+// poolEquivalents returns a sharded cell's pool accounting in full-vector
+// equivalents: S shard buffers hold one vector's worth of parameters, so
+// peak and allocation counts round up and reuse counts round down.
+func poolEquivalents(ss *paramvec.ShardedShared) (peak, allocs, reuses int64) {
+	s := int64(ss.NumShards())
+	return (ss.Peak() + s - 1) / s, (ss.Allocs() + s - 1) / s, ss.Reuses() / s
+}
+
+// shardedWorker is the per-worker state of the sharded Leashed-SGD loop,
+// shared between the static launcher below and the autotuning launcher in
+// autotune.go.
+type shardedWorker struct {
+	id         int
+	ws         *nn.Workspace
+	localParam *paramvec.Vector
+	localGrad  *paramvec.Vector
+	sampler    *data.Sampler
+	hist       *metrics.Hist
+	tc, tu     *metrics.DurationSampler
+	velocity   []float64
+	readTs     []int64 // per-shard read sequence numbers, regrown on re-shard
+	bound      int     // local persistence bound (adapts under LeashedAdaptive)
+	adaptive   bool
+}
+
+func (rt *runCtx) newShardedWorker(id int) *shardedWorker {
+	cfg := rt.cfg
+	w := &shardedWorker{
+		id:         id,
+		ws:         rt.net.NewWorkspace(),
+		localParam: paramvec.New(rt.pool),
+		localGrad:  paramvec.New(rt.pool),
+		sampler:    data.NewSampler(rt.ds.Len(), cfg.BatchSize, cfg.Seed, id),
+		hist:       rt.hists[id],
+		tc:         rt.tcs[id],
+		tu:         rt.tus[id],
+		bound:      cfg.Persistence,
+		adaptive:   cfg.Algo == LeashedAdaptive,
+	}
+	if cfg.Momentum > 0 {
+		w.velocity = make([]float64, rt.d)
+	}
+	if w.adaptive {
+		w.bound = 4
+	}
+	return w
+}
+
+func (w *shardedWorker) close() {
+	w.localParam.Release()
+	w.localGrad.Release()
+}
+
+// shardedIter runs one full sharded Leashed-SGD iteration against epoch e.
+//
+// Per iteration the worker:
+//  1. assembles a read snapshot: acquires each shard's latest vector with the
+//     read-protection protocol and copies the segment into a private
+//     full-dimension buffer, recording each shard's sequence number. Unlike
+//     the single-chain path the gradient read is no longer zero-copy — the
+//     copy is the price of sharding, and each segment is untorn but
+//     cross-shard skew is possible;
+//  2. computes the gradient against the private copy;
+//  3. reserves one unit of the update budget, then runs one LAU-SPC loop per
+//     shard, traversing shards in a rotated order (start shard = worker id
+//     mod S) so concurrent workers spread over the chains instead of marching
+//     through them in lockstep. Each shard has its own persistence budget of
+//     Tp failed CAS attempts; a shard that exhausts it drops only that
+//     segment of the gradient;
+//  4. staleness is per shard, in units of that shard's publishes; failed-CAS
+//     and dropped counts are recorded per shard (Result.ShardFailedCAS etc).
+//
+// The global update counter advances once per iteration that published at
+// least one shard; an iteration that published nothing refunds its budget
+// reservation so MaxUpdates stays exact.
+func (rt *runCtx) shardedIter(e *shardEpoch, w *shardedWorker) {
+	cfg := rt.cfg
+	ss := e.ss
+	S := ss.NumShards()
+	if cap(w.readTs) < S {
+		w.readTs = make([]int64, S)
+	}
+	readTs := w.readTs[:S]
+
+	// (1) Assemble the read snapshot shard by shard.
+	for s := 0; s < S; s++ {
+		r := ss.ShardRange(s)
+		v := ss.Latest(s)
+		copy(w.localParam.Theta[r.Lo:r.Hi], v.Theta)
+		readTs[s] = v.T
+		v.StopReading()
+	}
+
+	// (2) Gradient against the private copy.
+	batch := w.sampler.Next()
+	zero(w.localGrad.Theta)
+	var t0 time.Time
+	if cfg.SampleTiming {
+		t0 = time.Now()
+	}
+	rt.net.BatchLossGrad(w.localParam.Theta, w.localGrad.Theta, rt.ds, batch, w.ws)
+	if cfg.SampleTiming {
+		w.tc.Observe(time.Since(t0))
+	}
+	step := rt.effectiveStep(w.localGrad.Theta, w.velocity)
+
+	// Claim a budget unit before anything becomes visible; when the budget
+	// is fully claimed the gradient is discarded and the caller's loop
+	// re-checks the stop conditions.
+	if !rt.reserveUpdate() {
+		return
+	}
+
+	// (3) Per-shard LAU-SPC loops, rotated start.
+	if cfg.SampleTiming {
+		t0 = time.Now()
+	}
+	publishedAny := false
+	cleanIter := true // every shard published without a retry
+	droppedAny := false
+	for k := 0; k < S; k++ {
+		s := (w.id + k) % S
+		r := ss.ShardRange(s)
+		newSeg := ss.NewShardVec(s)
+		tries := 0
+		for {
+			cur := ss.Latest(s)
+			newSeg.CopyFrom(cur)
+			cur.StopReading()
+			newSeg.Update(step[r.Lo:r.Hi], rt.adaptedEta(newSeg.T-readTs[s]))
+			if ss.TryPublish(s, cur, newSeg) {
+				publishedAny = true
+				e.pub[s].n.Add(1)
+				stale := newSeg.T - 1 - readTs[s]
+				w.hist.Observe(stale)
+				e.stale[s].n.Add(stale)
+				if tries > 0 {
+					cleanIter = false
+				}
+				break
+			}
+			e.failed[s].n.Add(1)
+			tries++
+			if w.bound >= 0 && tries > w.bound {
+				newSeg.Release()
+				e.dropped[s].n.Add(1)
+				droppedAny = true
+				break
+			}
+			if rt.stop.Load() {
+				newSeg.Release()
+				cleanIter = false
+				break
+			}
+		}
+	}
+	if cfg.SampleTiming {
+		w.tu.Observe(time.Since(t0))
+	}
+	if publishedAny {
+		rt.applyUpdate()
+	} else {
+		rt.refundUpdate()
+	}
+	// Mirror the single-chain adaptive rule: grow only after a fully
+	// uncontended iteration, halve only after a dropped gradient segment (a
+	// retried-but-successful publish is neither).
+	if w.adaptive {
+		if droppedAny {
+			w.bound /= 2
+		} else if cleanIter && publishedAny {
+			if w.bound < 64 {
+				w.bound++
+			}
+		}
+	}
+}
 
 // launchLeashedSharded starts Leashed-SGD workers over a sharded published
 // vector (Config.Shards > 1): the flat parameter vector is split into S
@@ -15,149 +245,39 @@ import (
 // per shard. Two workers now conflict only when they publish the same shard
 // concurrently, so the failed-CAS rate scales as ~1/S — the same
 // partition-the-contended-cell argument that capacity-partitioned WPT
-// networks make for a shared charging medium.
-//
-// Per iteration a worker:
-//  1. assembles a read snapshot: acquires each shard's latest vector with the
-//     read-protection protocol and copies the segment into a private
-//     full-dimension buffer, recording each shard's sequence number. Unlike
-//     the single-chain path the gradient read is no longer zero-copy — the
-//     copy is the price of sharding, and each segment is untorn but
-//     cross-shard skew is possible;
-//  2. computes the gradient against the private copy;
-//  3. runs one LAU-SPC loop per shard, traversing shards in a rotated order
-//     (start shard = worker id mod S) so concurrent workers spread over the
-//     chains instead of marching through them in lockstep. Each shard has
-//     its own persistence budget of Tp failed CAS attempts; a shard that
-//     exhausts it drops only that segment of the gradient;
-//  4. staleness is per shard, in units of that shard's publishes; failed-CAS
-//     and dropped counts are recorded per shard (Result.ShardFailedCAS etc).
-//
-// The global update counter advances once per iteration that published at
-// least one shard. The LeashedAdaptive variant keeps one local bound per
-// worker: it grows by one after an iteration where every shard published
-// first-try, and halves after an iteration that dropped any shard.
+// networks make for a shared charging medium. See shardedIter for the
+// per-iteration protocol.
 func (rt *runCtx) launchLeashedSharded(wg *sync.WaitGroup, initVec *paramvec.Vector) (snapshot func([]float64), cleanup func()) {
-	cfg := rt.cfg
 	ss := paramvec.NewSharded(rt.d, rt.numShards())
 	ss.PublishInit(initVec.Theta)
 	initVec.Release() // contents now live in the per-shard chains
 	rt.sharded = ss
-	S := ss.NumShards()
-	adaptive := cfg.Algo == LeashedAdaptive
+	// The static path's epoch instrumentation is the runCtx's own per-shard
+	// counters, so the Result plumbing reads them directly.
+	e := &shardEpoch{ss: ss, failed: rt.shardFailed, dropped: rt.shardDropped, pub: rt.shardPub, stale: rt.shardStale}
 
-	for w := 0; w < cfg.Workers; w++ {
+	for w := 0; w < rt.cfg.Workers; w++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			ws := rt.net.NewWorkspace()
-			localParam := paramvec.New(rt.pool)
-			localGrad := paramvec.New(rt.pool)
-			defer localParam.Release()
-			defer localGrad.Release()
-			sampler := data.NewSampler(rt.ds.Len(), cfg.BatchSize, cfg.Seed, id)
-			hist := rt.hists[id]
-			tc, tu := rt.tcs[id], rt.tus[id]
-			var velocity []float64
-			if cfg.Momentum > 0 {
-				velocity = make([]float64, rt.d)
-			}
-			readTs := make([]int64, S)
-			localBound := cfg.Persistence
-			if adaptive {
-				localBound = 4
-			}
+			worker := rt.newShardedWorker(id)
+			defer worker.close()
 			for !rt.stop.Load() && !rt.budgetExhausted() {
-				// (1) Assemble the read snapshot shard by shard.
-				for s := 0; s < S; s++ {
-					r := ss.ShardRange(s)
-					v := ss.Latest(s)
-					copy(localParam.Theta[r.Lo:r.Hi], v.Theta)
-					readTs[s] = v.T
-					v.StopReading()
+				if rt.budgetFullyReserved() {
+					runtime.Gosched() // final in-flight updates draining
+					continue
 				}
-
-				// (2) Gradient against the private copy.
-				batch := sampler.Next()
-				zero(localGrad.Theta)
-				var t0 time.Time
-				if cfg.SampleTiming {
-					t0 = time.Now()
-				}
-				rt.net.BatchLossGrad(localParam.Theta, localGrad.Theta, rt.ds, batch, ws)
-				if cfg.SampleTiming {
-					tc.Observe(time.Since(t0))
-				}
-				step := rt.effectiveStep(localGrad.Theta, velocity)
-
-				// (3) Per-shard LAU-SPC loops, rotated start.
-				if cfg.SampleTiming {
-					t0 = time.Now()
-				}
-				publishedAny := false
-				cleanIter := true // every shard published without a retry
-				droppedAny := false
-				for k := 0; k < S; k++ {
-					s := (id + k) % S
-					r := ss.ShardRange(s)
-					newSeg := ss.NewShardVec(s)
-					tries := 0
-					for {
-						cur := ss.Latest(s)
-						newSeg.CopyFrom(cur)
-						cur.StopReading()
-						newSeg.Update(step[r.Lo:r.Hi], rt.adaptedEta(newSeg.T-readTs[s]))
-						if ss.TryPublish(s, cur, newSeg) {
-							publishedAny = true
-							rt.shardPub[s].n.Add(1)
-							stale := newSeg.T - 1 - readTs[s]
-							hist.Observe(stale)
-							rt.shardStale[s].n.Add(stale)
-							if tries > 0 {
-								cleanIter = false
-							}
-							break
-						}
-						rt.shardFailed[s].n.Add(1)
-						tries++
-						if localBound >= 0 && tries > localBound {
-							newSeg.Release()
-							rt.shardDropped[s].n.Add(1)
-							droppedAny = true
-							break
-						}
-						if rt.stop.Load() {
-							newSeg.Release()
-							cleanIter = false
-							break
-						}
-					}
-				}
-				if cfg.SampleTiming {
-					tu.Observe(time.Since(t0))
-				}
-				if publishedAny {
-					rt.updates.Add(1)
-				}
-				// Mirror the single-chain adaptive rule: grow only after a
-				// fully uncontended iteration, halve only after a dropped
-				// gradient segment (a retried-but-successful publish is
-				// neither).
-				if adaptive {
-					if droppedAny {
-						localBound /= 2
-					} else if cleanIter && publishedAny {
-						if localBound < 64 {
-							localBound++
-						}
-					}
-				}
+				rt.shardedIter(e, worker)
 			}
 		}(w)
 	}
 
+	// The per-shard sequence slice is hoisted and reused across monitor
+	// ticks (Snapshot reuses it once it has capacity) instead of allocating
+	// a fresh one per snapshot.
+	var seqs []int64
 	snapshot = func(dst []float64) {
-		ss.Snapshot(dst, nil)
+		seqs = ss.Snapshot(dst, seqs)
 	}
 	cleanup = func() {
 		ss.Retire()

@@ -99,13 +99,38 @@ type Config struct {
 	// shard.
 	Shards int
 
+	// AutoShard enables contention-adaptive shard-count autotuning for the
+	// Leashed variants (extension): instead of a fixed S the run starts at
+	// AutoShardInitial shards and a controller samples the failed-CAS rate
+	// per publish over AutoShardWindow, hill-climbing S (doubling under
+	// contention, halving when uncontended, with hysteresis against
+	// thrash). Each re-shard quiesces the workers at a barrier, takes a
+	// cross-shard-consistent snapshot and republishes it into a fresh
+	// sharded cell. Mutually exclusive with a fixed Shards > 1; requires
+	// Algo Leashed or LeashedAdaptive. The S-trajectory lands in
+	// Result.ShardTrajectory.
+	AutoShard bool
+	// AutoShardInitial is the autotuner's starting shard count S₀
+	// (default 1, the paper's single chain).
+	AutoShardInitial int
+	// AutoShardMax caps the autotuned shard count (default 64, clamped to
+	// the parameter dimension).
+	AutoShardMax int
+	// AutoShardWindow is the autotuner's contention-sampling window
+	// (default 50ms).
+	AutoShardWindow time.Duration
+
 	Seed uint64
 
 	// Stop conditions. EpsilonFrac sets the convergence target as a
 	// fraction of the initial loss (the paper's ε, e.g. 0.5 = 50%);
 	// 0 disables the target. MaxUpdates and MaxTime bound the run;
 	// exceeding either without reaching the target classifies the run
-	// as Diverge.
+	// as Diverge. A MaxUpdates budget is exact: workers reserve budget
+	// atomically before an update becomes visible, so a run that ends by
+	// budget exhaustion applies exactly MaxUpdates updates
+	// (Result.TotalUpdates == MaxUpdates — the deterministic-replay
+	// contract).
 	EpsilonFrac float64
 	MaxUpdates  int64
 	MaxTime     time.Duration
@@ -161,6 +186,17 @@ func (c Config) withDefaults(dsLen int) Config {
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
+	if c.AutoShard {
+		if c.AutoShardInitial <= 0 {
+			c.AutoShardInitial = 1
+		}
+		if c.AutoShardMax <= 0 {
+			c.AutoShardMax = 64
+		}
+		if c.AutoShardWindow <= 0 {
+			c.AutoShardWindow = 50 * time.Millisecond
+		}
+	}
 	if c.MaxUpdates <= 0 && c.MaxTime <= 0 {
 		c.MaxTime = 10 * time.Second
 	}
@@ -204,6 +240,10 @@ type Result struct {
 	TimeToTarget    time.Duration
 	UpdatesToTarget int64
 
+	// TotalUpdates counts the updates actually applied/published. When the
+	// run ends by exhausting a MaxUpdates budget this equals MaxUpdates
+	// exactly (budget units are reserved atomically before an update
+	// becomes visible), which is what makes bounded runs replayable.
 	TotalUpdates int64
 	Elapsed      time.Duration
 
@@ -234,6 +274,23 @@ type Result struct {
 	ShardPublishes     []int64
 	ShardStalenessMean []float64
 
+	// Publishes counts successful shard publishes over the whole run —
+	// for autotuned runs that includes retired epochs, where the
+	// per-shard breakdown above describes only the final epoch. Equal to
+	// TotalUpdates for single-chain runs. It is the denominator of the
+	// cross-configuration contention rate (FailedPerPublish), since a
+	// sharded iteration performs up to S publishes where the single chain
+	// performs one.
+	Publishes int64
+
+	// AutoShard measurements (nil/0 unless Config.AutoShard was set).
+	// ShardTrajectory is the sequence of shard counts the controller moved
+	// through — first entry S₀, last entry the final S (which Shards also
+	// reports, and which the per-shard breakdown above describes).
+	// Reshards counts the re-shard events, len(ShardTrajectory)-1.
+	ShardTrajectory []int
+	Reshards        int
+
 	// ParameterVector memory accounting (Fig. 10): buffers live at peak
 	// and at exit, plus total heap allocations (allocations ≪ checkouts
 	// demonstrates recycling).
@@ -260,6 +317,16 @@ func (r *Result) MeanLiveVectors() float64 {
 	return float64(sum) / float64(len(r.MemSamples))
 }
 
+// FailedPerPublish is the contention rate comparable across shard counts
+// and across static/autotuned runs: failed CAS attempts per successful
+// shard publish. Zero when nothing published.
+func (r *Result) FailedPerPublish() float64 {
+	if r.Publishes == 0 {
+		return 0
+	}
+	return float64(r.FailedCAS) / float64(r.Publishes)
+}
+
 // TimePerUpdate is the paper's computational-efficiency metric.
 func (r *Result) TimePerUpdate() time.Duration {
 	if r.TotalUpdates == 0 {
@@ -275,8 +342,20 @@ type runCtx struct {
 	ds  *data.Dataset
 	d   int
 
-	updates atomic.Int64 // applied/published updates (the global order)
-	stop    atomic.Bool
+	updates  atomic.Int64 // applied/published updates (the global order)
+	reserved atomic.Int64 // MaxUpdates budget claims: applied + in-flight, never above the budget
+	stop     atomic.Bool
+
+	// done is closed the moment the applied-update count reaches MaxUpdates
+	// exactly, waking the monitor immediately instead of at its next tick.
+	done     chan struct{}
+	doneOnce sync.Once
+
+	// stopped is closed alongside stop so goroutines parked in a select
+	// (the autotune controller) wake immediately instead of at their next
+	// tick. Workers on the hot path still poll the cheaper stop flag.
+	stopped  chan struct{}
+	stopOnce sync.Once
 
 	failedCAS atomic.Int64
 	dropped   atomic.Int64
@@ -295,6 +374,10 @@ type runCtx struct {
 	// sharded is set by the sharded Leashed launcher; its shard pools are
 	// folded into the memory accounting in full-vector equivalents.
 	sharded *paramvec.ShardedShared
+
+	// auto is set by the autotuning Leashed launcher (autotune.go); it owns
+	// the live epoch and the cross-epoch accounting.
+	auto *autoTuner
 
 	// Per-worker instrumentation, merged after the run.
 	hists []*metrics.Hist
@@ -316,7 +399,9 @@ func newRuntime(cfg Config, net *nn.Network, ds *data.Dataset) *runCtx {
 		net:  net,
 		ds:   ds,
 		d:    net.ParamCount(),
-		pool: paramvec.NewPool(net.ParamCount()),
+		pool:    paramvec.NewPool(net.ParamCount()),
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
 	}
 	if s := rt.numShards(); s > 1 {
 		rt.shardFailed = newCounters(s)
@@ -335,9 +420,62 @@ func newRuntime(cfg Config, net *nn.Network, ds *data.Dataset) *runCtx {
 	return rt
 }
 
-// budgetExhausted reports whether the update budget is spent.
+// budgetExhausted reports whether the update budget is spent (in applied
+// updates — in-flight reservations do not count, so a true result is final).
 func (rt *runCtx) budgetExhausted() bool {
 	return rt.cfg.MaxUpdates > 0 && rt.updates.Load() >= rt.cfg.MaxUpdates
+}
+
+// budgetFullyReserved reports whether every budget unit is claimed — applied
+// or held by an in-flight update. Workers check it before starting an
+// iteration so they don't burn whole gradient passes that are guaranteed to
+// fail reservation while the final in-flight updates drain; they yield
+// instead, and resume only if a claim is refunded.
+func (rt *runCtx) budgetFullyReserved() bool {
+	return rt.cfg.MaxUpdates > 0 && rt.reserved.Load() >= rt.cfg.MaxUpdates
+}
+
+// reserveUpdate claims one unit of the MaxUpdates budget BEFORE the update is
+// made visible. The claim is a bounded CAS increment, so the total of applied
+// plus in-flight updates can never exceed the budget — this is what makes
+// TotalUpdates == MaxUpdates exact instead of overshooting by up to m−1 when
+// several workers pass a load-then-add check simultaneously. Returns false
+// when the budget is fully claimed; an unbounded run always succeeds.
+func (rt *runCtx) reserveUpdate() bool {
+	max := rt.cfg.MaxUpdates
+	if max <= 0 {
+		return true
+	}
+	for {
+		cur := rt.reserved.Load()
+		if cur >= max {
+			return false
+		}
+		if rt.reserved.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// refundUpdate returns a reservation whose update was never applied (gradient
+// dropped by the persistence bound, or abandoned on stop), reopening that
+// budget unit to the other workers.
+func (rt *runCtx) refundUpdate() {
+	if rt.cfg.MaxUpdates > 0 {
+		rt.reserved.Add(-1)
+	}
+}
+
+// applyUpdate advances the global applied-update order under a held
+// reservation and wakes the monitor the instant the budget is exactly spent.
+// Because applied ≤ reserved ≤ MaxUpdates at all times, the done signal
+// implies no in-flight update can be applied afterwards.
+func (rt *runCtx) applyUpdate() int64 {
+	n := rt.updates.Add(1)
+	if max := rt.cfg.MaxUpdates; max > 0 && n >= max {
+		rt.doneOnce.Do(func() { close(rt.done) })
+	}
+	return n
 }
 
 // numShards returns the effective shard count: Config.Shards clamped to
@@ -368,6 +506,9 @@ func (rt *runCtx) liveVectors() int64 {
 		s := int64(rt.sharded.NumShards())
 		n += (rt.sharded.Live() + s - 1) / s
 	}
+	if rt.auto != nil {
+		n += rt.auto.liveEq()
+	}
 	return n
 }
 
@@ -385,6 +526,14 @@ func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
 	}
 	if cfg.Eta <= 0 {
 		return nil, fmt.Errorf("sgd: step size must be positive, got %v", cfg.Eta)
+	}
+	if cfg.AutoShard {
+		if cfg.Shards > 1 {
+			return nil, fmt.Errorf("sgd: AutoShard and a fixed Shards=%d are mutually exclusive", cfg.Shards)
+		}
+		if cfg.Algo != Leashed && cfg.Algo != LeashedAdaptive {
+			return nil, fmt.Errorf("sgd: AutoShard requires a Leashed variant, got %v", cfg.Algo)
+		}
 	}
 	cfg = cfg.withDefaults(ds.Len())
 	rt := newRuntime(cfg, net, ds)
@@ -405,9 +554,12 @@ func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
 	case Hogwild:
 		snapshot, cleanup = rt.launchHogwild(&wg, initVec)
 	case Leashed, LeashedAdaptive:
-		if rt.numShards() > 1 {
+		switch {
+		case cfg.AutoShard:
+			snapshot, cleanup = rt.launchLeashedAuto(&wg, initVec)
+		case rt.numShards() > 1:
 			snapshot, cleanup = rt.launchLeashedSharded(&wg, initVec)
-		} else {
+		default:
 			snapshot, cleanup = rt.launchLeashed(&wg, initVec)
 		}
 	case SyncLockstep:
@@ -418,6 +570,7 @@ func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
 
 	res := rt.monitor(snapshot)
 	rt.stop.Store(true)
+	rt.stopOnce.Do(func() { close(rt.stopped) })
 	wg.Wait()
 	// Re-snapshot after the workers have quiesced: the monitor's last
 	// snapshot can predate updates that were in flight when the stop
@@ -439,49 +592,63 @@ func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
 	res.FailedCAS = rt.failedCAS.Load()
 	res.DroppedUpdates = rt.dropped.Load()
 	res.TotalUpdates = rt.updates.Load()
+	res.Publishes = res.TotalUpdates
 	res.PeakLiveVectors = rt.pool.Peak()
 	res.FinalLiveVectors = rt.liveVectors()
 	res.BufferAllocs = rt.pool.Allocs()
 	res.BufferReuses = rt.pool.Reuses()
 	res.Shards = rt.numShards()
 	if rt.shardFailed != nil {
-		s := len(rt.shardFailed)
-		res.ShardFailedCAS = make([]int64, s)
-		res.ShardDropped = make([]int64, s)
-		res.ShardPublishes = make([]int64, s)
-		res.ShardStalenessMean = make([]float64, s)
-		for i := 0; i < s; i++ {
-			res.ShardFailedCAS[i] = rt.shardFailed[i].n.Load()
-			res.ShardDropped[i] = rt.shardDropped[i].n.Load()
-			res.ShardPublishes[i] = rt.shardPub[i].n.Load()
-			if pub := res.ShardPublishes[i]; pub > 0 {
-				res.ShardStalenessMean[i] = float64(rt.shardStale[i].n.Load()) / float64(pub)
-			}
-			res.FailedCAS += res.ShardFailedCAS[i]
-			res.DroppedUpdates += res.ShardDropped[i]
-		}
+		e := &shardEpoch{failed: rt.shardFailed, dropped: rt.shardDropped,
+			pub: rt.shardPub, stale: rt.shardStale}
+		e.rollup(res)
 	}
 	if rt.sharded != nil {
 		// Fold the shard pools into the accounting in full-vector
 		// equivalents (per-shard peaks are an upper bound on the true
 		// simultaneous peak; allocation counts are exact).
-		s := int64(rt.sharded.NumShards())
-		res.PeakLiveVectors += (rt.sharded.Peak() + s - 1) / s
-		res.BufferAllocs += (rt.sharded.Allocs() + s - 1) / s
-		res.BufferReuses += rt.sharded.Reuses() / s
+		peak, allocs, reuses := poolEquivalents(rt.sharded)
+		res.PeakLiveVectors += peak
+		res.BufferAllocs += allocs
+		res.BufferReuses += reuses
+	}
+	if rt.auto != nil {
+		rt.auto.fill(res)
 	}
 	return res, nil
 }
 
+// evalSubset picks the monitor's loss-evaluation rows: every row when the
+// subset covers the dataset, otherwise EvalSubset rows sampled without
+// replacement with the run's seeded RNG (stream index Workers, after the
+// per-worker sampler streams 0..Workers-1). The subset is fixed for the whole
+// run so successive loss samples are comparable; sampling it — rather than
+// taking the first EvalSubset rows — avoids class-biased loss on
+// class-ordered datasets (typical for IDX dumps).
+func (rt *runCtx) evalSubset() []int {
+	n := rt.ds.Len()
+	idx := make([]int, n)
+	if k := rt.cfg.EvalSubset; k < n {
+		rng.NewStream(rt.cfg.Seed, rt.cfg.Workers).Perm(idx)
+		return idx[:k]
+	}
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
 // monitor samples the loss on a cadence, maintains the trace, and decides
 // the outcome. It runs in the calling goroutine until a stop condition.
+// Besides the EvalEvery ticker it wakes on rt.done (closed by the worker
+// that applies the final budgeted update) and on a MaxTime deadline timer,
+// so budget- and time-bounded endings are noticed immediately instead of at
+// the next tick — which used to inflate Elapsed/TimeToTarget by up to one
+// EvalEvery interval.
 func (rt *runCtx) monitor(snapshot func(dst []float64)) *Result {
 	cfg := rt.cfg
 	ws := rt.net.NewWorkspace()
-	evalIdx := make([]int, cfg.EvalSubset)
-	for i := range evalIdx {
-		evalIdx[i] = i
-	}
+	evalIdx := rt.evalSubset()
 	buf := make([]float64, rt.d)
 
 	res := &Result{}
@@ -499,7 +666,21 @@ func (rt *runCtx) monitor(snapshot func(dst []float64)) *Result {
 	start := time.Now()
 	ticker := time.NewTicker(cfg.EvalEvery)
 	defer ticker.Stop()
-	for range ticker.C {
+	var deadline <-chan time.Time
+	if cfg.MaxTime > 0 {
+		timer := time.NewTimer(cfg.MaxTime)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	budgetDone := rt.done
+	for {
+		select {
+		case <-ticker.C:
+		case <-budgetDone:
+			budgetDone = nil // closed; the budget check below ends the run
+		case <-deadline:
+			deadline = nil // fired; the elapsed check below ends the run
+		}
 		elapsed := time.Since(start)
 		snapshot(buf)
 		upd := rt.updates.Load()
@@ -534,5 +715,4 @@ func (rt *runCtx) monitor(snapshot func(dst []float64)) *Result {
 			return finish()
 		}
 	}
-	return finish()
 }

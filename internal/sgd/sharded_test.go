@@ -65,6 +65,9 @@ func TestShardedLeashedPerShardMetrics(t *testing.T) {
 	if pubs < res.TotalUpdates {
 		t.Fatalf("shard publishes %d < global updates %d", pubs, res.TotalUpdates)
 	}
+	if res.Publishes != pubs {
+		t.Fatalf("Result.Publishes = %d, want per-shard sum %d", res.Publishes, pubs)
+	}
 	// Totals must roll up into the aggregate counters.
 	if res.FailedCAS != failed || res.DroppedUpdates != dropped {
 		t.Fatalf("aggregate failed=%d dropped=%d, per-shard sums %d/%d",
@@ -83,6 +86,9 @@ func TestUnshardedResultHasNoShardBreakdown(t *testing.T) {
 	}
 	if res.ShardFailedCAS != nil || res.ShardPublishes != nil {
 		t.Fatal("single-chain run populated per-shard metrics")
+	}
+	if res.Publishes != res.TotalUpdates {
+		t.Fatalf("single-chain Publishes = %d, want TotalUpdates %d", res.Publishes, res.TotalUpdates)
 	}
 }
 

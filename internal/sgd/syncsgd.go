@@ -84,6 +84,12 @@ func (rt *runCtx) launchSync(wg *sync.WaitGroup, initVec *paramvec.Vector) (snap
 				tensor.Axpy(1/float64(cfg.Workers), g.grad, avg)
 			}
 			mtx.Lock()
+			// The coordinator is the only reserver, so a failed
+			// reservation means the budget is exactly spent.
+			if !rt.reserveUpdate() {
+				mtx.Unlock()
+				break
+			}
 			var t0 time.Time
 			if cfg.SampleTiming {
 				t0 = time.Now()
@@ -92,7 +98,7 @@ func (rt *runCtx) launchSync(wg *sync.WaitGroup, initVec *paramvec.Vector) (snap
 			if cfg.SampleTiming {
 				tu.Observe(time.Since(t0))
 			}
-			rt.updates.Add(1)
+			rt.applyUpdate()
 			mtx.Unlock()
 			hist.Observe(0) // lock-step: no concurrent updates by construction
 		}

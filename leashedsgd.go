@@ -27,6 +27,17 @@
 // (internal/paramvec), and a shard-count contention sweep (`leashed run
 // shards`, BenchmarkShardSweepContention).
 //
+// Config.AutoShard closes that loop: instead of fixing S, a controller
+// samples the failed-CAS rate per publish over a window and hill-climbs the
+// shard count at runtime (doubling under contention, halving when
+// uncontended, with hysteresis against thrash), re-sharding by quiescing the
+// workers at a barrier and republishing a consistent snapshot into a fresh
+// sharded cell. The S-trajectory lands in Result.ShardTrajectory (`leashed
+// run autotune`, `leashed train -autoshard`, BenchmarkAutoShard). MaxUpdates
+// budgets are exact: workers reserve budget units atomically before an
+// update becomes visible, so every bounded run ends with TotalUpdates ==
+// MaxUpdates — the deterministic-replay contract.
+//
 // Quick start:
 //
 //	model := leashedsgd.MLP(28*28, []int{128, 128, 128}, 10)
