@@ -21,7 +21,9 @@ import (
 	"testing"
 	"time"
 
+	"leashedsgd/internal/data"
 	"leashedsgd/internal/harness"
+	"leashedsgd/internal/nn"
 	"leashedsgd/internal/paramvec"
 	"leashedsgd/internal/queuemodel"
 	"leashedsgd/internal/sgd"
@@ -366,6 +368,50 @@ func BenchmarkAutoShard(b *testing.B) {
 			b.Errorf("controller landed at S=%d, more than one doubling from best static S=%d (rates %v)",
 				res.Shards, bestS, rates)
 		}
+	}
+}
+
+// BenchmarkGradientReadAllocs asserts the leased gradient-read path is
+// allocation-free: acquire a lease on every chain of the store, run a full
+// batch gradient through the zero-copy view, release. 0 allocs/op on the
+// sharded store is the tentpole claim of the ParamStore refactor; the
+// chains=1 row guards the single-chain path (paper Algorithm 3's zero-copy
+// read) against regression.
+//
+// Before/after: the PR-1 sharded read assembled a private full copy of θ per
+// gradient read (one d-sized copy per iteration, plus the read-buffer
+// checkout that kept per-worker memory at 2 vectors); the leased view reads
+// the published shard buffers in place — 0 copies and 0 allocations per
+// read, with per-worker private memory down to the gradient accumulator.
+func BenchmarkGradientReadAllocs(b *testing.B) {
+	ds := data.GenerateSynthetic(data.DefaultSyntheticConfig(64, 3))
+	for _, chains := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("chains=%d", chains), func(b *testing.B) {
+			net := nn.NewSmallMLP(ds.Dim(), ds.Classes)
+			st := paramvec.NewStore(net.ParamCount(), chains)
+			st.PublishInit(make([]float64, net.ParamCount()))
+			defer st.Retire()
+			ws := net.NewWorkspace()
+			grad := make([]float64, net.ParamCount())
+			batch := data.Batch{Indices: []int{0, 7, 21, 42}}
+			var lease paramvec.Lease
+			read := func() {
+				view := lease.Acquire(st)
+				for i := range grad {
+					grad[i] = 0
+				}
+				net.BatchLossGrad(view, grad, ds, batch, ws)
+				lease.Release()
+			}
+			// One AllocsPerRun measurement per sub-benchmark: the 51
+			// gradient passes inside it are the measurement, so looping
+			// it b.N times adds cost without information.
+			allocs := testing.AllocsPerRun(50, read)
+			b.ReportMetric(allocs, "allocs/op")
+			if allocs != 0 {
+				b.Errorf("leased gradient read path allocated %.1f times per op, want 0", allocs)
+			}
+		})
 	}
 }
 

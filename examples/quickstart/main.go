@@ -71,6 +71,8 @@ func main() {
 	fmt.Printf("staleness:      mean %.2f, max %d\n", res.Staleness.Mean(), res.Staleness.Max())
 	if algo == leashedsgd.Leashed {
 		fmt.Printf("contention:     %d failed CAS, %d dropped gradients\n", res.FailedCAS, res.DroppedUpdates)
+		fmt.Printf("reads:          %d consistent, %d mixed-version (zero-copy leases)\n",
+			res.ConsistentReads, res.MixedReads)
 		fmt.Printf("memory:         peak %d ParameterVector buffers (%d allocs, %d reuses)\n",
 			res.PeakLiveVectors, res.BufferAllocs, res.BufferReuses)
 	}

@@ -18,6 +18,7 @@ package nn
 import (
 	"fmt"
 
+	"leashedsgd/internal/paramvec"
 	"leashedsgd/internal/tensor"
 )
 
@@ -91,6 +92,68 @@ func (d *Dense) Backward(params, grad, in, _, dOut, dIn []float64, _ any) {
 	if dIn != nil {
 		w := d.weights(params)
 		tensor.MatTVec(dIn, w, dOut)
+	}
+}
+
+// Dense is the parameter mass of every architecture here (the paper's MLP is
+// 99.9% Dense weights), so it gets true segment-aware kernels: a weight row
+// that straddles a segment boundary is processed as two (or more) contiguous
+// dot products / axpys instead of being copied. Rows that fit inside one
+// segment — all but at most S−1 of them — run the same tight inner loops as
+// the flat path.
+
+// ForwardView computes out = W·in + b reading W and b through the view.
+func (d *Dense) ForwardView(pv paramvec.View, lo int, in, out []float64, _ any) {
+	wEnd := lo + d.Out*d.In
+	for o := 0; o < d.Out; o++ {
+		rowLo := lo + o*d.In
+		rowHi := rowLo + d.In
+		var acc float64
+		j := 0
+		for pos := rowLo; pos < rowHi; {
+			piece := pv.Tail(pos, rowHi)
+			acc += tensor.Dot(piece, in[j:j+len(piece)])
+			j += len(piece)
+			pos += len(piece)
+		}
+		out[o] = acc
+	}
+	o := 0
+	for pos := wEnd; pos < wEnd+d.Out; {
+		piece := pv.Tail(pos, wEnd+d.Out)
+		for k, b := range piece {
+			out[o+k] += b
+		}
+		o += len(piece)
+		pos += len(piece)
+	}
+}
+
+// BackwardView accumulates dW += dOut⊗in, db += dOut (into the flat private
+// grad — never segmented) and computes dIn = Wᵀ·dOut reading W through the
+// view.
+func (d *Dense) BackwardView(pv paramvec.View, lo int, grad, in, _, dOut, dIn []float64, _ any) {
+	gw := d.weights(grad)
+	tensor.OuterAdd(gw, 1, dOut, in)
+	tensor.Axpy(1, dOut, d.biases(grad))
+	if dIn == nil {
+		return
+	}
+	tensor.Fill(dIn, 0)
+	for o := 0; o < d.Out; o++ {
+		g := dOut[o]
+		if g == 0 {
+			continue
+		}
+		rowLo := lo + o*d.In
+		rowHi := rowLo + d.In
+		j := 0
+		for pos := rowLo; pos < rowHi; {
+			piece := pv.Tail(pos, rowHi)
+			tensor.Axpy(g, piece, dIn[j:j+len(piece)])
+			j += len(piece)
+			pos += len(piece)
+		}
 	}
 }
 

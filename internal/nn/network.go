@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"leashedsgd/internal/data"
+	"leashedsgd/internal/paramvec"
 	"leashedsgd/internal/rng"
 	"leashedsgd/internal/tensor"
 )
@@ -102,6 +103,13 @@ type Workspace struct {
 	deltas  [][]float64 // deltas[i] = dLoss/d(acts[i])
 	scratch []any
 	probs   []float64
+	// stitch[i] is layer i's gather target, allocated on first use — only
+	// a parameterized layer without a segment-aware kernel (viewLayer)
+	// whose block actually straddles a segment boundary ever needs one.
+	// After the first fallback the buffer is reused, keeping the
+	// segmented-view hot path allocation-free; flat-view runs never pay
+	// for it.
+	stitch [][]float64
 }
 
 // NewWorkspace allocates a workspace for this network.
@@ -111,6 +119,7 @@ func (n *Network) NewWorkspace() *Workspace {
 		deltas:  make([][]float64, len(n.layers)+1),
 		scratch: make([]any, len(n.layers)),
 		probs:   make([]float64, n.outDim),
+		stitch:  make([][]float64, len(n.layers)),
 	}
 	ws.acts[0] = make([]float64, n.inDim)
 	ws.deltas[0] = make([]float64, n.inDim)
@@ -122,20 +131,82 @@ func (n *Network) NewWorkspace() *Workspace {
 	return ws
 }
 
+// stitchFor returns layer i's reusable gather buffer, allocating it on the
+// first segmented-fallback use.
+func (n *Network) stitchFor(ws *Workspace, i int) []float64 {
+	if ws.stitch[i] == nil {
+		ws.stitch[i] = make([]float64, n.layers[i].ParamCount())
+	}
+	return ws.stitch[i]
+}
+
+// viewLayer is the optional segment-aware kernel interface: layers that
+// implement it evaluate directly against a segmented parameter view when
+// their parameter block straddles a segment boundary, splitting their inner
+// loops at the boundaries instead of copying (zero-copy). Layers without it
+// fall back to gathering their (typically small) block into the workspace's
+// pre-sized stitch buffer. lo is the layer's start offset in the flat vector.
+type viewLayer interface {
+	ForwardView(pv paramvec.View, lo int, in, out []float64, scratch any)
+	BackwardView(pv paramvec.View, lo int, grad, in, out, dOut, dIn []float64, scratch any)
+}
+
+// layerForward runs layer i's forward pass against the parameter view:
+// contiguous fast path (always taken for flat views, and for any layer that
+// fits inside one segment), segment-aware kernel, or stitch fallback.
+func (n *Network) layerForward(pv paramvec.View, i int, ws *Workspace) {
+	l := n.layers[i]
+	lo := n.offsets[i]
+	hi := lo + l.ParamCount()
+	if p, ok := pv.Slice(lo, hi); ok {
+		l.Forward(p, ws.acts[i], ws.acts[i+1], ws.scratch[i])
+	} else if vl, ok := l.(viewLayer); ok {
+		vl.ForwardView(pv, lo, ws.acts[i], ws.acts[i+1], ws.scratch[i])
+	} else {
+		l.Forward(pv.Gather(lo, hi, n.stitchFor(ws, i)), ws.acts[i], ws.acts[i+1], ws.scratch[i])
+	}
+}
+
+// layerBackward is the backward-pass counterpart of layerForward. grad is
+// always a flat private vector — only the parameter READ is segmented.
+func (n *Network) layerBackward(pv paramvec.View, i int, grad []float64, dOut, dIn []float64, ws *Workspace) {
+	l := n.layers[i]
+	lo := n.offsets[i]
+	hi := lo + l.ParamCount()
+	if p, ok := pv.Slice(lo, hi); ok {
+		l.Backward(p, n.layerParams(grad, i), ws.acts[i], ws.acts[i+1], dOut, dIn, ws.scratch[i])
+	} else if vl, ok := l.(viewLayer); ok {
+		vl.BackwardView(pv, lo, n.layerParams(grad, i), ws.acts[i], ws.acts[i+1], dOut, dIn, ws.scratch[i])
+	} else {
+		l.Backward(pv.Gather(lo, hi, n.stitchFor(ws, i)), n.layerParams(grad, i),
+			ws.acts[i], ws.acts[i+1], dOut, dIn, ws.scratch[i])
+	}
+}
+
+// ForwardView runs the network against a (possibly segmented) parameter view
+// and returns the logits slice, which aliases workspace storage and is valid
+// until the next call.
+func (n *Network) ForwardView(pv paramvec.View, x []float64, ws *Workspace) []float64 {
+	if pv.Len() != n.d {
+		panic("nn: ForwardView params length mismatch")
+	}
+	if len(x) != n.inDim {
+		panic("nn: Forward input length mismatch")
+	}
+	copy(ws.acts[0], x)
+	for i := range n.layers {
+		n.layerForward(pv, i, ws)
+	}
+	return ws.acts[len(n.layers)]
+}
+
 // Forward runs the network on x (length InDim) and returns the logits slice,
 // which aliases workspace storage and is valid until the next call.
 func (n *Network) Forward(params, x []float64, ws *Workspace) []float64 {
 	if len(params) != n.d {
 		panic("nn: Forward params length mismatch")
 	}
-	if len(x) != n.inDim {
-		panic("nn: Forward input length mismatch")
-	}
-	copy(ws.acts[0], x)
-	for i, l := range n.layers {
-		l.Forward(n.layerParams(params, i), ws.acts[i], ws.acts[i+1], ws.scratch[i])
-	}
-	return ws.acts[len(n.layers)]
+	return n.ForwardView(paramvec.FlatView(params), x, ws)
 }
 
 // softmaxCE computes softmax probabilities of logits into probs and returns
@@ -164,6 +235,25 @@ func softmaxCE(logits, probs []float64, y int) float64 {
 	return -math.Log(p)
 }
 
+// backprop runs the backward pass for one sample whose forward activations
+// and softmax probabilities are live in ws, accumulating into grad.
+func (n *Network) backprop(pv paramvec.View, grad []float64, y int, invB float64, ws *Workspace) {
+	nl := len(n.layers)
+	// dLoss/dlogits = (softmax - onehot) / B
+	dOut := ws.deltas[nl]
+	for i := range dOut {
+		dOut[i] = ws.probs[i] * invB
+	}
+	dOut[y] -= invB
+	for i := nl - 1; i >= 0; i-- {
+		var dIn []float64
+		if i > 0 {
+			dIn = ws.deltas[i]
+		}
+		n.layerBackward(pv, i, grad, ws.deltas[i+1], dIn, ws)
+	}
+}
+
 // LossGrad computes the mean softmax-cross-entropy loss of the batch and
 // ACCUMULATES the mean gradient into grad (callers zero grad when they want
 // a fresh gradient; accumulation supports gradient averaging schemes).
@@ -175,51 +265,31 @@ func (n *Network) LossGrad(params, grad []float64, xs [][]float64, ys []int, ws 
 	if len(xs) != len(ys) || len(xs) == 0 {
 		panic("nn: LossGrad empty or mismatched batch")
 	}
+	pv := paramvec.FlatView(params)
 	invB := 1 / float64(len(xs))
 	var totalLoss float64
-	nl := len(n.layers)
 	for b, x := range xs {
-		logits := n.Forward(params, x, ws)
+		logits := n.ForwardView(pv, x, ws)
 		totalLoss += softmaxCE(logits, ws.probs, ys[b])
-		// dLoss/dlogits = (softmax - onehot) / B
-		dOut := ws.deltas[nl]
-		for i := range dOut {
-			dOut[i] = ws.probs[i] * invB
-		}
-		dOut[ys[b]] -= invB
-		for i := nl - 1; i >= 0; i-- {
-			var dIn []float64
-			if i > 0 {
-				dIn = ws.deltas[i]
-			}
-			n.layers[i].Backward(n.layerParams(params, i), n.layerParams(grad, i),
-				ws.acts[i], ws.acts[i+1], ws.deltas[i+1], dIn, ws.scratch[i])
-		}
+		n.backprop(pv, grad, ys[b], invB, ws)
 	}
 	return totalLoss * invB
 }
 
-// BatchLossGrad is LossGrad over dataset rows selected by batch indices.
-func (n *Network) BatchLossGrad(params, grad []float64, ds *data.Dataset, batch data.Batch, ws *Workspace) float64 {
+// BatchLossGrad is the gradient entry point of the SGD hot path: LossGrad
+// over dataset rows selected by batch indices, reading the parameters
+// through a View. The view may be flat (paramvec.FlatView over a private
+// copy — the lock-based and HOGWILD! read protocols) or segmented (a leased
+// zero-copy read of the published shard buffers — paramvec.Lease.Acquire),
+// in which case segment-aware kernels and pre-sized stitch buffers keep the
+// pass allocation-free (BenchmarkGradientReadAllocs).
+func (n *Network) BatchLossGrad(pv paramvec.View, grad []float64, ds *data.Dataset, batch data.Batch, ws *Workspace) float64 {
 	invB := 1 / float64(len(batch.Indices))
 	var totalLoss float64
-	nl := len(n.layers)
 	for _, idx := range batch.Indices {
-		logits := n.Forward(params, ds.X[idx], ws)
+		logits := n.ForwardView(pv, ds.X[idx], ws)
 		totalLoss += softmaxCE(logits, ws.probs, ds.Y[idx])
-		dOut := ws.deltas[nl]
-		for i := range dOut {
-			dOut[i] = ws.probs[i] * invB
-		}
-		dOut[ds.Y[idx]] -= invB
-		for i := nl - 1; i >= 0; i-- {
-			var dIn []float64
-			if i > 0 {
-				dIn = ws.deltas[i]
-			}
-			n.layers[i].Backward(n.layerParams(params, i), n.layerParams(grad, i),
-				ws.acts[i], ws.acts[i+1], ws.deltas[i+1], dIn, ws.scratch[i])
-		}
+		n.backprop(pv, grad, ds.Y[idx], invB, ws)
 	}
 	return totalLoss * invB
 }

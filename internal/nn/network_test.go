@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"leashedsgd/internal/data"
+	"leashedsgd/internal/paramvec"
 	"leashedsgd/internal/rng"
 )
 
@@ -308,7 +309,7 @@ func TestTrainingConvergesSequential(t *testing.T) {
 		for i := range grad {
 			grad[i] = 0
 		}
-		n.BatchLossGrad(params, grad, ds, batch, ws)
+		n.BatchLossGrad(paramvec.FlatView(params), grad, ds, batch, ws)
 		for i := range params {
 			params[i] -= 0.05 * grad[i]
 		}
@@ -337,7 +338,7 @@ func TestAccuracyImproves(t *testing.T) {
 		for i := range grad {
 			grad[i] = 0
 		}
-		n.BatchLossGrad(params, grad, ds, batch, ws)
+		n.BatchLossGrad(paramvec.FlatView(params), grad, ds, batch, ws)
 		for i := range params {
 			params[i] -= 0.05 * grad[i]
 		}
@@ -414,7 +415,7 @@ func BenchmarkMLPGradBatch32(b *testing.B) {
 	grad := make([]float64, n.ParamCount())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = n.BatchLossGrad(params, grad, ds, sampler.Next(), ws)
+		_ = n.BatchLossGrad(paramvec.FlatView(params), grad, ds, sampler.Next(), ws)
 	}
 }
 
@@ -429,6 +430,6 @@ func BenchmarkCNNGradBatch32(b *testing.B) {
 	grad := make([]float64, n.ParamCount())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = n.BatchLossGrad(params, grad, ds, sampler.Next(), ws)
+		_ = n.BatchLossGrad(paramvec.FlatView(params), grad, ds, sampler.Next(), ws)
 	}
 }

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"leashedsgd/internal/data"
+	"leashedsgd/internal/paramvec"
+	"leashedsgd/internal/rng"
+)
+
+// segment splits params into n contiguous near-equal segments and returns
+// the segmented view over them — the shape a leased sharded read produces.
+func segment(params []float64, n int) paramvec.View {
+	bounds := paramvec.ShardBounds(len(params), n)
+	segs := make([][]float64, len(bounds))
+	offs := make([]int, len(bounds)+1)
+	for i, r := range bounds {
+		segs[i] = params[r.Lo:r.Hi]
+		offs[i+1] = r.Hi
+	}
+	return paramvec.SegmentedView(segs, offs)
+}
+
+// TestSegmentedViewMatchesFlat proves the zero-copy read path computes the
+// same function as the flat path: loss and gradient through a segmented view
+// must match the flat reference on every architecture × segment count, for
+// segment boundaries that cut Dense rows (the segment-aware kernels) and
+// conv/bias blocks (the stitch fallback) alike. Only floating-point
+// association at the split points may differ, hence the 1e-9 relative bar.
+func TestSegmentedViewMatchesFlat(t *testing.T) {
+	ds := data.GenerateSynthetic(data.DefaultSyntheticConfig(64, 3))
+	archs := map[string]*Network{
+		"SmallMLP": NewSmallMLP(ds.Dim(), ds.Classes),
+		"SmallCNN": NewSmallCNN(),
+	}
+	for name, n := range archs {
+		for _, segsN := range []int{2, 3, 7, 16} {
+			t.Run(fmt.Sprintf("%s/segs=%d", name, segsN), func(t *testing.T) {
+				params := make([]float64, n.ParamCount())
+				n.Init(params, rng.New(7), DefaultSigma)
+				batch := data.Batch{Indices: []int{0, 5, 9, 31}}
+
+				wsFlat, wsView := n.NewWorkspace(), n.NewWorkspace()
+				gradFlat := make([]float64, n.ParamCount())
+				gradView := make([]float64, n.ParamCount())
+				lossFlat := n.BatchLossGrad(paramvec.FlatView(params), gradFlat, ds, batch, wsFlat)
+				lossView := n.BatchLossGrad(segment(params, segsN), gradView, ds, batch, wsView)
+
+				if relErr(lossFlat, lossView) > 1e-9 {
+					t.Fatalf("loss mismatch: flat %v, segmented %v", lossFlat, lossView)
+				}
+				for i := range gradFlat {
+					if relErr(gradFlat[i], gradView[i]) > 1e-9 {
+						t.Fatalf("grad[%d] mismatch: flat %v, segmented %v", i, gradFlat[i], gradView[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+func relErr(a, b float64) float64 {
+	diff := math.Abs(a - b)
+	if diff == 0 {
+		return 0
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff / scale
+}
+
+// TestViewPrimitives covers the View accessors the kernels are built on.
+func TestViewPrimitives(t *testing.T) {
+	base := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	v := segment(base, 3) // segments [0,4) [4,7) [7,10)
+
+	if v.Len() != 10 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if v.Flat() != nil {
+		t.Fatal("segmented view reports flat")
+	}
+	if s, ok := v.Slice(4, 7); !ok || s[0] != 4 || len(s) != 3 {
+		t.Fatalf("Slice(4,7) = %v, %v", s, ok)
+	}
+	if _, ok := v.Slice(3, 5); ok {
+		t.Fatal("Slice across boundary reported contiguous")
+	}
+	if s, ok := v.Slice(2, 2); !ok || len(s) != 0 {
+		t.Fatal("empty Slice not trivially contiguous")
+	}
+	if tail := v.Tail(2, 9); len(tail) != 2 || tail[0] != 2 {
+		t.Fatalf("Tail(2,9) = %v", tail)
+	}
+	if tail := v.Tail(8, 9); len(tail) != 1 || tail[0] != 8 {
+		t.Fatalf("Tail(8,9) = %v", tail)
+	}
+	dst := make([]float64, 10)
+	got := v.Gather(3, 9, dst)
+	for i, want := range []float64{3, 4, 5, 6, 7, 8} {
+		if got[i] != want {
+			t.Fatalf("Gather[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if v.At(i) != float64(i) {
+			t.Fatalf("At(%d) = %v", i, v.At(i))
+		}
+	}
+
+	flat := paramvec.FlatView(base)
+	if flat.Flat() == nil || flat.Len() != 10 {
+		t.Fatal("FlatView misreports")
+	}
+	if s, ok := flat.Slice(3, 5); !ok || s[0] != 3 {
+		t.Fatal("FlatView.Slice broken")
+	}
+}

@@ -218,9 +218,14 @@ func (v *Vector) Release() {
 }
 
 // Shared is the published-pointer cell P from Algorithm 3, wrapping the
-// atomic pointer plus the acquire protocol.
+// atomic pointer plus the acquire protocol. A zero-value Shared is a bare
+// publication cell (callers manage buffers themselves); NewSingle builds one
+// in store mode — with its own pool and dimension — implementing the full
+// ParamStore interface (see store.go).
 type Shared struct {
-	p atomic.Pointer[Vector]
+	p    atomic.Pointer[Vector]
+	pool *Pool
+	dim  int
 }
 
 // Publish installs v unconditionally (initialization only).

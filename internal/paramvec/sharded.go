@@ -85,6 +85,27 @@ func NewSharded(dim, shards int) *ShardedShared {
 // NumShards returns S.
 func (ss *ShardedShared) NumShards() int { return len(ss.cells) }
 
+// Chains returns S under the chain-indexed ParamStore interface: every shard
+// is one independent publish chain.
+func (ss *ShardedShared) Chains() int { return len(ss.cells) }
+
+// ChainRange is ShardRange under the ParamStore interface.
+func (ss *ShardedShared) ChainRange(c int) Range { return ss.cells[c].rng }
+
+// NewChainVec is NewShardVec under the ParamStore interface.
+func (ss *ShardedShared) NewChainVec(c int) *Vector { return New(ss.cells[c].pool) }
+
+// ChainLatest is Latest under the ParamStore interface.
+func (ss *ShardedShared) ChainLatest(c int) *Vector { return ss.cells[c].shared.Latest() }
+
+// ChainTryPublish is TryPublish under the ParamStore interface.
+func (ss *ShardedShared) ChainTryPublish(c int, expected, v *Vector) bool {
+	return ss.cells[c].shared.TryPublish(expected, v)
+}
+
+// ChainPeek is Peek under the ParamStore interface.
+func (ss *ShardedShared) ChainPeek(c int) *Vector { return ss.cells[c].shared.Peek() }
+
 // Dim returns the full vector dimension d.
 func (ss *ShardedShared) Dim() int { return ss.dim }
 

@@ -1,0 +1,266 @@
+package paramvec
+
+import "fmt"
+
+// ParamStore is the publication surface every SGD launcher programs against:
+// a parameter vector published as one or more independent lock-free
+// latest-pointer chains. The single-chain Shared (the paper's exact
+// Algorithm 3 semantics) and the sharded ShardedShared both implement it, so
+// the worker loop in internal/sgd, the monitor's snapshots, the autotuner's
+// epoch swap and the memory accounting are all written once, store-agnostic —
+// and any future store (NUMA-aware, double-buffered, remote) is a drop-in.
+//
+// A "chain" is one independently published contiguous range of the flat
+// vector: Shared has exactly one covering [0, Dim); ShardedShared has S.
+// Reads lease the chains' latest vectors zero-copy via Lease; publishes run
+// the LAU-SPC CAS per chain via ChainTryPublish.
+type ParamStore interface {
+	// Dim is the full flat-vector dimension d.
+	Dim() int
+	// Chains is the number of independent publish chains (1 or S).
+	Chains() int
+	// ChainRange is chain c's half-open interval of the flat vector.
+	ChainRange(c int) Range
+	// NewChainVec checks a fresh chain-c-sized vector out of that chain's
+	// buffer pool (the LAU-SPC copy target).
+	NewChainVec(c int) *Vector
+	// ChainLatest acquires chain c's latest published vector under the
+	// lock-free read-protection protocol; the caller must StopReading it.
+	ChainLatest(c int) *Vector
+	// ChainTryPublish runs the single-CAS publish step on chain c: on
+	// success the replaced vector is retired for recycling.
+	ChainTryPublish(c int, expected, v *Vector) bool
+	// ChainPeek returns chain c's published vector WITHOUT read
+	// protection (monitoring and seqlock validation only).
+	ChainPeek(c int) *Vector
+	// PublishInit slices theta across the chains and publishes each
+	// segment unconditionally (initialization only).
+	PublishInit(theta []float64)
+	// Snapshot copies every chain's latest published segment into dst
+	// under read protection and returns the per-chain sequence numbers.
+	// Each segment is untorn; chains may come from different global
+	// moments (cross-chain skew). seqs is reused when it has capacity.
+	Snapshot(dst []float64, seqs []int64) []int64
+	// SnapshotConsistent retries Snapshot with seqlock validation until no
+	// chain published mid-copy (a true global state) or attempts run out.
+	SnapshotConsistent(dst []float64, attempts int) ([]int64, bool)
+	// Live, Peak, Allocs and Reuses aggregate the chains' buffer-pool
+	// gauges, in chain-buffer units (divide by Chains for full-vector
+	// equivalents).
+	Live() int64
+	Peak() int64
+	Allocs() int64
+	Reuses() int64
+	// Retire marks every chain's published vector stale and offers it for
+	// recycling (end-of-run cleanup: the gauges drain to zero once the
+	// last reader leaves).
+	Retire()
+	// SetPoison enables buffer poisoning on every chain pool (tests only).
+	SetPoison(on bool)
+}
+
+// Compile-time interface conformance for both stores.
+var (
+	_ ParamStore = (*Shared)(nil)
+	_ ParamStore = (*ShardedShared)(nil)
+)
+
+// NewStore builds the canonical store for a dim-dimensional vector: the
+// single-chain Shared for chains <= 1 (the paper's exact semantics), the
+// sharded store otherwise. This is the swap point the autotuner re-shards
+// through.
+func NewStore(dim, chains int) ParamStore {
+	if chains <= 1 {
+		return NewSingle(dim)
+	}
+	return NewSharded(dim, chains)
+}
+
+// --- Shared as a ParamStore ------------------------------------------------
+
+// NewSingle returns a Shared publication cell in store mode: it owns a
+// buffer pool of the full dimension, so the ParamStore methods (NewChainVec,
+// PublishInit, Snapshot, the pool gauges) work on it. A zero-value Shared
+// remains usable as a bare publication cell for callers that manage their
+// own pool.
+func NewSingle(dim int) *Shared {
+	return &Shared{pool: NewPool(dim), dim: dim}
+}
+
+// Dim returns the full vector dimension d (store mode only).
+func (s *Shared) Dim() int { return s.dim }
+
+// Chains returns 1: the single totally-ordered publish chain.
+func (s *Shared) Chains() int { return 1 }
+
+// ChainRange returns the full interval [0, Dim).
+func (s *Shared) ChainRange(int) Range { return Range{Lo: 0, Hi: s.dim} }
+
+// Pool returns the store's buffer pool (store mode only; nil for zero-value
+// cells).
+func (s *Shared) Pool() *Pool { return s.pool }
+
+// NewChainVec checks a fresh full-dimension vector out of the store pool.
+func (s *Shared) NewChainVec(int) *Vector { return New(s.pool) }
+
+// ChainLatest is Latest under the chain-indexed store interface.
+func (s *Shared) ChainLatest(int) *Vector { return s.Latest() }
+
+// ChainTryPublish is TryPublish under the chain-indexed store interface.
+func (s *Shared) ChainTryPublish(_ int, expected, v *Vector) bool {
+	return s.TryPublish(expected, v)
+}
+
+// ChainPeek is Peek under the chain-indexed store interface.
+func (s *Shared) ChainPeek(int) *Vector { return s.Peek() }
+
+// PublishInit publishes theta unconditionally (initialization only).
+func (s *Shared) PublishInit(theta []float64) {
+	if len(theta) != s.dim {
+		panic(fmt.Sprintf("paramvec: PublishInit got %d values, want %d", len(theta), s.dim))
+	}
+	v := New(s.pool)
+	copy(v.Theta, theta)
+	s.Publish(v)
+}
+
+// Snapshot copies the published vector into dst under read protection.
+// Single chain: the snapshot is one immutable vector, trivially consistent.
+func (s *Shared) Snapshot(dst []float64, seqs []int64) []int64 {
+	if len(dst) != s.dim {
+		panic(fmt.Sprintf("paramvec: Snapshot dst has %d values, want %d", len(dst), s.dim))
+	}
+	if cap(seqs) < 1 {
+		seqs = make([]int64, 1)
+	}
+	seqs = seqs[:1]
+	v := s.Latest()
+	copy(dst, v.Theta)
+	seqs[0] = v.T
+	v.StopReading()
+	return seqs
+}
+
+// SnapshotConsistent is Snapshot: a single published vector is immutable, so
+// every snapshot is a true global state on the first attempt.
+func (s *Shared) SnapshotConsistent(dst []float64, _ int) ([]int64, bool) {
+	return s.Snapshot(dst, nil), true
+}
+
+// Live returns the store pool's live-buffer gauge.
+func (s *Shared) Live() int64 { return s.pool.Live() }
+
+// Peak returns the store pool's high-water mark.
+func (s *Shared) Peak() int64 { return s.pool.Peak() }
+
+// Allocs returns the store pool's heap-allocation count.
+func (s *Shared) Allocs() int64 { return s.pool.Allocs() }
+
+// Reuses returns the store pool's free-list reuse count.
+func (s *Shared) Reuses() int64 { return s.pool.Reuses() }
+
+// Retire marks the published vector stale and offers it for recycling.
+func (s *Shared) Retire() {
+	v := s.Peek()
+	v.MarkStale()
+	v.SafeDelete()
+}
+
+// SetPoison enables poisoning on the store pool (tests only).
+func (s *Shared) SetPoison(on bool) { s.pool.SetPoison(on) }
+
+// --- Leased zero-copy reads ------------------------------------------------
+
+// Lease is a reusable, allocation-free handle on one leased read of every
+// chain's latest published vector. Acquire registers the caller as a reader
+// of each chain (Algorithm 3's latest_pointer per chain), so none of the
+// leased buffers can be recycled until Release — the caller computes its
+// gradient DIRECTLY against the published segments through the returned
+// View, with no private copy of θ. This restores the paper's zero-copy read
+// (P3) on the sharded store, which PR 1 traded away for a copy-per-read.
+//
+// Release re-checks every chain's published head against the leased one (a
+// seqlock over the chains): if no chain published during the window the read
+// was provably one global state (consistent); otherwise different chains may
+// mix versions (the cross-shard skew the PR-1 trade-off documented). The
+// classification feeds Result.ConsistentReads/MixedReads in internal/sgd.
+//
+// A Lease is owned by one goroutine; after the first Acquire, re-Acquiring
+// with an unchanged chain count performs no allocation.
+type Lease struct {
+	store ParamStore
+	vecs  []*Vector
+	segs  [][]float64
+	offs  []int
+	seqs  []int64
+	held  bool
+}
+
+// Acquire leases every chain's latest vector from st and returns the
+// zero-copy View over the published segments.
+func (l *Lease) Acquire(st ParamStore) View {
+	if l.held {
+		panic("paramvec: Lease.Acquire while held")
+	}
+	c := st.Chains()
+	if cap(l.vecs) < c {
+		l.vecs = make([]*Vector, c)
+		l.segs = make([][]float64, c)
+		l.seqs = make([]int64, c)
+		l.offs = make([]int, c+1)
+	}
+	l.vecs, l.segs, l.seqs, l.offs = l.vecs[:c], l.segs[:c], l.seqs[:c], l.offs[:c+1]
+	if l.store != st {
+		// New or re-sharded store: refresh the segment offsets.
+		l.store = st
+		l.offs[0] = 0
+		for i := 0; i < c; i++ {
+			l.offs[i+1] = st.ChainRange(i).Hi
+		}
+	}
+	for i := 0; i < c; i++ {
+		v := st.ChainLatest(i)
+		l.vecs[i] = v
+		l.segs[i] = v.Theta
+		l.seqs[i] = v.T
+	}
+	l.held = true
+	if c == 1 {
+		return View{flat: l.segs[0]}
+	}
+	return View{segs: l.segs, offs: l.offs}
+}
+
+// Release validates and drops the lease, reporting whether the leased view
+// was provably a consistent global state: true when no chain published
+// between Acquire and Release (single-chain leases are always consistent —
+// one immutable vector). The recorded sequence numbers (Seq) stay valid
+// after Release; the View does not.
+func (l *Lease) Release() bool {
+	if !l.held {
+		panic("paramvec: Lease.Release without Acquire")
+	}
+	l.held = false
+	consistent := true
+	if len(l.vecs) > 1 {
+		for c, v := range l.vecs {
+			if l.store.ChainPeek(c) != v {
+				consistent = false
+				break
+			}
+		}
+	}
+	for i, v := range l.vecs {
+		v.StopReading()
+		l.vecs[i] = nil
+	}
+	return consistent
+}
+
+// Seq returns chain c's sequence number as read at Acquire time — the
+// staleness baseline the publish protocol measures against. Valid until the
+// next Acquire.
+func (l *Lease) Seq(c int) int64 { return l.seqs[c] }
+
+// Chains returns the chain count of the last Acquire.
+func (l *Lease) Chains() int { return len(l.seqs) }

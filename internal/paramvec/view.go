@@ -1,0 +1,148 @@
+package paramvec
+
+import "fmt"
+
+// View is a read-only, possibly segmented view of a flat parameter vector.
+// It is the type the gradient entry points in internal/nn accept: a flat
+// []float64 wraps into a single-segment view with zero overhead (FlatView),
+// and a leased sharded read (Lease.Acquire) exposes the per-shard published
+// buffers as contiguous segments without assembling a private copy — the
+// zero-copy read path.
+//
+// Views are value types holding slice headers only; copying a View never
+// copies parameter data. A View is valid exactly as long as the underlying
+// buffers are: for leased views, until the lease is released.
+type View struct {
+	// flat is the single-segment fast path. When non-nil, segs/offs are
+	// ignored.
+	flat []float64
+	// segs are the contiguous segments in index order; segment i covers
+	// the flat range [offs[i], offs[i+1]).
+	segs [][]float64
+	// offs has len(segs)+1 entries: cumulative segment starts plus the
+	// total length.
+	offs []int
+}
+
+// FlatView wraps a flat vector as a single-segment View. Zero allocation.
+func FlatView(x []float64) View { return View{flat: x} }
+
+// SegmentedView builds a View over segments with cumulative offsets. offs
+// must have len(segs)+1 entries with offs[0] == 0 and each segment's length
+// matching its interval. The slices are aliased, not copied.
+func SegmentedView(segs [][]float64, offs []int) View {
+	if len(offs) != len(segs)+1 || (len(offs) > 0 && offs[0] != 0) {
+		panic("paramvec: SegmentedView offsets malformed")
+	}
+	for i, s := range segs {
+		if len(s) != offs[i+1]-offs[i] {
+			panic(fmt.Sprintf("paramvec: segment %d has %d values, interval wants %d",
+				i, len(s), offs[i+1]-offs[i]))
+		}
+	}
+	if len(segs) == 1 {
+		return View{flat: segs[0]}
+	}
+	return View{segs: segs, offs: offs}
+}
+
+// Len returns the total vector length.
+func (v View) Len() int {
+	if v.flat != nil {
+		return len(v.flat)
+	}
+	if len(v.offs) == 0 {
+		return 0
+	}
+	return v.offs[len(v.offs)-1]
+}
+
+// Flat returns the whole vector as one contiguous slice, or nil when the
+// view is segmented. Callers on hot paths branch on this for the
+// single-chain fast path.
+func (v View) Flat() []float64 { return v.flat }
+
+// segIndex locates the segment containing flat position pos by binary search
+// over the offsets. Caller guarantees 0 <= pos < Len() and a segmented view.
+func (v View) segIndex(pos int) int {
+	lo, hi := 0, len(v.segs)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if v.offs[mid] <= pos {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Slice returns the contiguous backing slice for [lo, hi) and true when the
+// range lies within a single segment — the zero-copy access every layer
+// whose parameter block does not straddle a shard boundary takes. It returns
+// nil, false when the range spans segments (callers fall back to Tail
+// iteration or Gather). An empty range is trivially contiguous.
+func (v View) Slice(lo, hi int) ([]float64, bool) {
+	if v.flat != nil {
+		return v.flat[lo:hi], true
+	}
+	if lo == hi {
+		return nil, true
+	}
+	i := v.segIndex(lo)
+	if hi <= v.offs[i+1] {
+		return v.segs[i][lo-v.offs[i] : hi-v.offs[i]], true
+	}
+	return nil, false
+}
+
+// Tail returns the longest contiguous piece starting at flat position pos
+// and extending no further than hi. Iterating Tail until the cursor reaches
+// hi walks a spanning range piece by piece with zero copying:
+//
+//	for pos := lo; pos < hi; {
+//		piece := v.Tail(pos, hi)
+//		... use piece ...
+//		pos += len(piece)
+//	}
+func (v View) Tail(pos, hi int) []float64 {
+	if v.flat != nil {
+		return v.flat[pos:hi]
+	}
+	i := v.segIndex(pos)
+	end := v.offs[i+1]
+	if hi < end {
+		end = hi
+	}
+	return v.segs[i][pos-v.offs[i] : end-v.offs[i]]
+}
+
+// Gather copies [lo, hi) into dst (which must have capacity hi-lo) and
+// returns dst[:hi-lo]. It is the stitch fallback for small parameter blocks
+// that straddle a segment boundary on layers without a segment-aware kernel;
+// with a pre-sized dst it performs no allocation.
+func (v View) Gather(lo, hi int, dst []float64) []float64 {
+	dst = dst[:hi-lo]
+	if v.flat != nil {
+		copy(dst, v.flat[lo:hi])
+		return dst
+	}
+	n := 0
+	for pos := lo; pos < hi; {
+		piece := v.Tail(pos, hi)
+		copy(dst[n:], piece)
+		n += len(piece)
+		pos += len(piece)
+	}
+	return dst
+}
+
+// At returns element i. Convenience for tests and cold paths; hot kernels
+// use Slice/Tail.
+func (v View) At(i int) float64 {
+	if v.flat != nil {
+		return v.flat[i]
+	}
+	s := v.segIndex(i)
+	return v.segs[s][i-v.offs[s]]
+}

@@ -1,130 +1,72 @@
 package sgd
 
 import (
-	"runtime"
 	"sync"
-	"time"
 
-	"leashedsgd/internal/data"
 	"leashedsgd/internal/paramvec"
 )
 
-// launchAsync starts the lock-based AsyncSGD workers (Algorithm 2). SEQ is
-// the m = 1 special case: with a single worker the mutex is always
-// uncontended, so the schedule is sequential SGD with only nanoseconds of
-// monitor-snapshot overhead.
+// asyncStrategy is the lock-based AsyncSGD protocol (Algorithm 2) under the
+// unified worker loop. SEQ is the m = 1 special case: with a single worker
+// the mutex is always uncontended, so the schedule is sequential SGD with
+// only nanoseconds of monitor-snapshot overhead.
 //
 // Shared state: PARAM (one ParameterVector) guarded by mtx. Each worker owns
-// local_param (a copy target) and local_grad, giving the paper's constant
-// 2m+1 ParameterVector instances.
-func (rt *runCtx) launchAsync(wg *sync.WaitGroup, initVec *paramvec.Vector) (snapshot func([]float64), cleanup func()) {
-	var mtx sync.Mutex
-	shared := initVec
-
-	cfg := rt.cfg
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			ws := rt.net.NewWorkspace()
-			localParam := paramvec.New(rt.pool)
-			localGrad := paramvec.New(rt.pool)
-			defer localParam.Release()
-			defer localGrad.Release()
-			sampler := data.NewSampler(rt.ds.Len(), cfg.BatchSize, cfg.Seed, id)
-			hist := rt.hists[id]
-			tc, tu := rt.tcs[id], rt.tus[id]
-			var velocity []float64
-			if cfg.Momentum > 0 {
-				velocity = make([]float64, rt.d)
-			}
-			for !rt.stop.Load() && !rt.budgetExhausted() {
-				if rt.budgetFullyReserved() {
-					runtime.Gosched() // final in-flight updates draining
-					continue
-				}
-				// Read phase: copy the shared parameters under the lock.
-				mtx.Lock()
-				localParam.CopyFrom(shared)
-				readSeq := rt.updates.Load()
-				mtx.Unlock()
-
-				// Gradient phase (Tc).
-				batch := sampler.Next()
-				zero(localGrad.Theta)
-				var t0 time.Time
-				if cfg.SampleTiming {
-					t0 = time.Now()
-				}
-				rt.net.BatchLossGrad(localParam.Theta, localGrad.Theta, rt.ds, batch, ws)
-				if cfg.SampleTiming {
-					tc.Observe(time.Since(t0))
-				}
-				step := rt.effectiveStep(localGrad.Theta, velocity)
-
-				// Update phase (Tu) under the lock. The budget unit is
-				// reserved and applied inside the same critical section,
-				// so a failed reservation means the budget is exactly
-				// spent and the outer loop exits on budgetExhausted.
-				mtx.Lock()
-				if !rt.reserveUpdate() {
-					mtx.Unlock()
-					continue
-				}
-				if cfg.SampleTiming {
-					t0 = time.Now()
-				}
-				shared.Update(step, rt.adaptedEta(rt.updates.Load()-readSeq))
-				if cfg.SampleTiming {
-					tu.Observe(time.Since(t0))
-				}
-				applied := rt.applyUpdate()
-				mtx.Unlock()
-				// Staleness: updates applied between our read and ours
-				// (our own update excluded).
-				hist.Observe(applied - 1 - readSeq)
-			}
-		}(w)
-	}
-
-	snapshot = func(dst []float64) {
-		mtx.Lock()
-		copy(dst, shared.Theta)
-		mtx.Unlock()
-	}
-	cleanup = func() {
-		shared.Release()
-	}
-	return snapshot, cleanup
+// local_param (the read-copy target) and local_grad, giving the paper's
+// constant 2m+1 ParameterVector instances. The read hook copies the shared
+// parameters under the lock; the commit hook reserves a budget unit, applies
+// the step in place and advances the global order inside the same critical
+// section, so a failed reservation means the budget is exactly spent. The
+// loop's Tu sample covers the whole commit, lock acquisition included — the
+// queueing delay IS the lock-based update cost the paper measures against.
+type asyncStrategy struct {
+	nopHooks
+	rt     *runCtx
+	mtx    sync.Mutex
+	shared *paramvec.Vector
 }
 
-// adaptedEta returns the step size for an update whose staleness estimate at
-// apply time is tau: η/(1+β·τ̂) with the configured TauAdaptiveBeta, or the
-// plain η when the extension is off.
-func (rt *runCtx) adaptedEta(tau int64) float64 {
-	beta := rt.cfg.TauAdaptiveBeta
-	if beta <= 0 || tau <= 0 {
-		return rt.cfg.Eta
-	}
-	return rt.cfg.Eta / (1 + beta*float64(tau))
+func (rt *runCtx) newAsyncStrategy(initVec *paramvec.Vector) *asyncStrategy {
+	return &asyncStrategy{rt: rt, shared: initVec}
 }
 
-// effectiveStep returns the vector the update rule should apply: the raw
-// gradient for plain SGD, or the heavy-ball velocity when momentum is on
-// (per-worker velocity — the extension documented in DESIGN.md §6).
-func (rt *runCtx) effectiveStep(grad, velocity []float64) []float64 {
-	if velocity == nil {
-		return grad
-	}
-	mu := rt.cfg.Momentum
-	for i, g := range grad {
-		velocity[i] = mu*velocity[i] + g
-	}
-	return velocity
+func (st *asyncStrategy) setup(w *loopWorker) {
+	w.param = paramvec.New(st.rt.pool)
+	w.velocity = st.rt.maybeVelocity()
 }
 
-func zero(x []float64) {
-	for i := range x {
-		x[i] = 0
+func (st *asyncStrategy) begin(w *loopWorker) bool { return st.rt.defaultBegin() }
+
+func (st *asyncStrategy) read(w *loopWorker) paramvec.View {
+	st.mtx.Lock()
+	w.param.CopyFrom(st.shared)
+	w.readSeq = st.rt.updates.Load()
+	st.mtx.Unlock()
+	return paramvec.FlatView(w.param.Theta)
+}
+
+func (st *asyncStrategy) commit(w *loopWorker, step []float64) bool {
+	rt := st.rt
+	st.mtx.Lock()
+	if !rt.reserveUpdate() {
+		st.mtx.Unlock()
+		return false
 	}
+	st.shared.Update(step, rt.adaptedEta(rt.updates.Load()-w.readSeq))
+	applied := rt.applyUpdate()
+	st.mtx.Unlock()
+	// Staleness: updates applied between our read and ours (our own
+	// update excluded).
+	w.hist.Observe(applied - 1 - w.readSeq)
+	return true
+}
+
+func (st *asyncStrategy) snapshot(dst []float64) {
+	st.mtx.Lock()
+	copy(dst, st.shared.Theta)
+	st.mtx.Unlock()
+}
+
+func (st *asyncStrategy) cleanup() {
+	st.shared.Release()
 }

@@ -14,11 +14,8 @@
 package sgd
 
 import (
-	"runtime"
 	"sync"
 	"time"
-
-	"leashedsgd/internal/paramvec"
 )
 
 // Default decision thresholds of the shard-count autotuner. Exported so the
@@ -143,11 +140,16 @@ func (t *shardTuner) jump(s int) int {
 }
 
 // autoTuner owns the live shard epoch of an autotuned run plus the
-// cross-epoch accounting. The RWMutex is the quiescing barrier: workers hold
-// the read side for exactly one iteration, the controller takes the write
-// side to re-shard, which by construction waits until every in-flight
-// iteration has drained and blocks new ones — at that point there are no
-// publishers, so a consistent snapshot validates on the first attempt.
+// cross-epoch accounting. Since the worker loop is parameterized over
+// paramvec.ParamStore, a re-shard is a generic store swap: snapshot the old
+// epoch's store, build the canonical store for the new chain count
+// (paramvec.NewStore — the single-chain Shared when the controller descends
+// to S = 1), republish, retire. The RWMutex is the quiescing barrier:
+// workers hold the read side for exactly one iteration, the controller takes
+// the write side to re-shard, which by construction waits until every
+// in-flight iteration has drained and blocks new ones — at that point there
+// are no publishers, so a consistent snapshot validates on the first
+// attempt.
 type autoTuner struct {
 	mu    sync.RWMutex
 	epoch *shardEpoch
@@ -177,12 +179,12 @@ func (at *autoTuner) totals() (failed, pubs int64) {
 	return failed, pubs
 }
 
-// liveEq is the live shard-buffer gauge in full-vector equivalents.
+// liveEq is the live chain-buffer gauge in full-vector equivalents.
 func (at *autoTuner) liveEq() int64 {
 	at.mu.RLock()
 	defer at.mu.RUnlock()
-	s := int64(at.epoch.ss.NumShards())
-	return (at.epoch.ss.Live() + s - 1) / s
+	c := int64(at.epoch.store.Chains())
+	return (at.epoch.store.Live() + c - 1) / c
 }
 
 // foldRetired rolls a retiring epoch's counters and pool accounting into the
@@ -193,7 +195,7 @@ func (at *autoTuner) foldRetired(e *shardEpoch) {
 		at.droppedAcc += e.dropped[s].n.Load()
 		at.pubAcc += e.pub[s].n.Load()
 	}
-	peak, allocs, reuses := poolEquivalents(e.ss)
+	peak, allocs, reuses := poolEquivalents(e.store)
 	if peak > at.peakEq {
 		at.peakEq = peak
 	}
@@ -201,8 +203,9 @@ func (at *autoTuner) foldRetired(e *shardEpoch) {
 	at.reusesEq += reuses
 }
 
-// reshard quiesces the workers, carries the parameters from the old epoch
-// into a fresh ShardedShared with newS shards, and retires the old one.
+// reshard quiesces the workers, carries the parameters from the old epoch's
+// store into the canonical store for newS chains, and retires the old one —
+// the generic store swap.
 func (at *autoTuner) reshard(rt *runCtx, newS int) {
 	at.mu.Lock()
 	defer at.mu.Unlock()
@@ -210,12 +213,12 @@ func (at *autoTuner) reshard(rt *runCtx, newS int) {
 	// Every worker is quiesced behind the write lock, so no publisher can
 	// interleave and validation succeeds on the first attempt; the attempt
 	// budget only guards the (unreachable) racing case, in which the last
-	// per-shard-untorn copy is still a correct parameter state to carry.
-	old.ss.SnapshotConsistent(at.buf, 4)
+	// per-chain-untorn copy is still a correct parameter state to carry.
+	old.store.SnapshotConsistent(at.buf, 4)
 	at.foldRetired(old)
-	old.ss.Retire()
+	old.store.Retire()
 	at.epoch = newShardEpoch(rt.d, newS, at.buf)
-	at.trajectory = append(at.trajectory, at.epoch.ss.NumShards())
+	at.trajectory = append(at.trajectory, at.epoch.store.Chains())
 }
 
 // fill records the autotuned run's measurements into res: the final per-shard
@@ -225,7 +228,7 @@ func (at *autoTuner) reshard(rt *runCtx, newS int) {
 func (at *autoTuner) fill(res *Result) {
 	e := at.epoch
 	e.rollup(res) // final epoch's per-shard breakdown + totals
-	res.Shards = e.ss.NumShards()
+	res.Shards = e.store.Chains()
 	// Layer the retired epochs' totals on top of the final epoch's.
 	res.FailedCAS += at.failedAcc
 	res.DroppedUpdates += at.droppedAcc
@@ -233,7 +236,7 @@ func (at *autoTuner) fill(res *Result) {
 	res.ShardTrajectory = append([]int(nil), at.trajectory...)
 	res.Reshards = len(at.trajectory) - 1
 
-	peak, allocs, reuses := poolEquivalents(e.ss)
+	peak, allocs, reuses := poolEquivalents(e.store)
 	if at.peakEq > peak {
 		peak = at.peakEq
 	}
@@ -242,47 +245,16 @@ func (at *autoTuner) fill(res *Result) {
 	res.BufferReuses += at.reusesEq + reuses
 }
 
-// launchLeashedAuto starts Leashed-SGD workers over an autotuned sharded
-// published vector (Config.AutoShard): the worker loop is exactly the
-// sharded one (shardedIter), but each iteration runs under the epoch read
-// lock so the controller goroutine can re-shard between iterations. The
-// controller wakes every AutoShardWindow, feeds the windowed failed-CAS and
-// publish deltas to the shardTuner, and executes any requested re-shard.
-func (rt *runCtx) launchLeashedAuto(wg *sync.WaitGroup, initVec *paramvec.Vector) (snapshot func([]float64), cleanup func()) {
-	cfg := rt.cfg
-	maxS := min(cfg.AutoShardMax, rt.d)
-	at := &autoTuner{
-		tuner: newShardTuner(cfg.AutoShardInitial, maxS),
-		buf:   make([]float64, rt.d),
-	}
-	at.epoch = newShardEpoch(rt.d, at.tuner.s, initVec.Theta)
-	at.trajectory = []int{at.epoch.ss.NumShards()}
-	initVec.Release() // contents now live in the per-shard chains
-	rt.auto = at
-
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			worker := rt.newShardedWorker(id)
-			defer worker.close()
-			for !rt.stop.Load() && !rt.budgetExhausted() {
-				if rt.budgetFullyReserved() {
-					runtime.Gosched() // final in-flight updates draining
-					continue
-				}
-				at.mu.RLock()
-				rt.shardedIter(at.epoch, worker)
-				at.mu.RUnlock()
-			}
-		}(w)
-	}
-
-	// Controller: windowed observation + hill-climb.
+// launchController starts the autotune controller goroutine: it wakes every
+// AutoShardWindow, feeds the windowed failed-CAS and publish deltas to the
+// shardTuner, and executes any requested re-shard as a store swap. The
+// worker side is the ordinary unified loop — leashedStrategy pins the live
+// epoch under the read lock for exactly one iteration.
+func (at *autoTuner) launchController(rt *runCtx, wg *sync.WaitGroup) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		ticker := time.NewTicker(cfg.AutoShardWindow)
+		ticker := time.NewTicker(rt.cfg.AutoShardWindow)
 		defer ticker.Stop()
 		var prevFailed, prevPubs int64
 		for !rt.stop.Load() {
@@ -301,15 +273,4 @@ func (rt *runCtx) launchLeashedAuto(wg *sync.WaitGroup, initVec *paramvec.Vector
 			}
 		}
 	}()
-
-	var seqs []int64
-	snapshot = func(dst []float64) {
-		at.mu.RLock()
-		seqs = at.epoch.ss.Snapshot(dst, seqs)
-		at.mu.RUnlock()
-	}
-	cleanup = func() {
-		at.epoch.ss.Retire()
-	}
-	return snapshot, cleanup
 }

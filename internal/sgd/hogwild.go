@@ -1,18 +1,14 @@
 package sgd
 
 import (
-	"runtime"
-	"sync"
-	"time"
-
 	"leashedsgd/internal/atomicx"
-	"leashedsgd/internal/data"
 	"leashedsgd/internal/paramvec"
 )
 
-// launchHogwild starts HOGWILD! workers (Algorithm 4): no coordination among
-// threads; each copies the shared vector, computes a gradient, and applies
-// it component by component while others read and write concurrently.
+// hogwildStrategy is HOGWILD! (Algorithm 4) under the unified worker loop:
+// no coordination among threads; each copies the shared vector, computes a
+// gradient, and applies it component by component while others read and
+// write concurrently.
 //
 // Go-specific adaptation (DESIGN.md §5): the shared θ lives in a []uint64
 // bit-pattern array accessed with atomic loads and CAS-adds, because Go
@@ -20,116 +16,106 @@ import (
 // (no torn words, no lost component updates), but the vector as a whole has
 // NO consistency — reads interleave with concurrent partial updates exactly
 // as in the original HOGWILD!, which is the inconsistency penalty (the √d
-// factor of Alistarh et al. [3]) the paper measures against.
+// factor of Alistarh et al. [3]) the paper measures against. The read stays
+// a copy by necessity: the bit-pattern array cannot be viewed as []float64,
+// so the zero-copy lease protocol does not apply here.
 //
 // Config.Shards > 1 keeps these semantics bit-for-bit (component-atomic adds
 // commute) but changes the *traversal order*: each worker applies its update
 // shard by shard, starting from a per-worker, per-iteration rotated shard,
 // so concurrent writers spread across the vector instead of marching front
 // to back in lockstep and colliding on the same cache lines. Per-shard sweep
-// counts land in Result.ShardPublishes.
-func (rt *runCtx) launchHogwild(wg *sync.WaitGroup, initVec *paramvec.Vector) (snapshot func([]float64), cleanup func()) {
-	cfg := rt.cfg
-	bounds := paramvec.ShardBounds(rt.d, rt.numShards())
-	S := len(bounds)
-	shared := make([]uint64, rt.d)
+// counts land in Result.ShardPublishes via the epoch counters.
+type hogwildStrategy struct {
+	nopHooks
+	rt     *runCtx
+	shared []uint64
+	bounds []paramvec.Range
+	// accounting represents the shared atomic array as one live
+	// ParameterVector in the memory gauges.
+	accounting *paramvec.Vector
+	epoch      *shardEpoch // sweep counters; nil for the single-sweep path
+}
+
+func (rt *runCtx) newHogwildStrategy(initVec *paramvec.Vector) *hogwildStrategy {
+	st := &hogwildStrategy{
+		rt:         rt,
+		shared:     make([]uint64, rt.d),
+		bounds:     paramvec.ShardBounds(rt.d, rt.numShards()),
+		accounting: initVec,
+	}
 	for i, v := range initVec.Theta {
-		atomicx.StoreFloat64(&shared[i], v)
+		atomicx.StoreFloat64(&st.shared[i], v)
 	}
-	// initVec's buffer is no longer needed (values copied into the atomic
-	// array), but the shared array itself is one live ParameterVector for
-	// the memory accounting; keep the checkout to represent it.
-	accounting := initVec
-
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			ws := rt.net.NewWorkspace()
-			localParam := paramvec.New(rt.pool)
-			localGrad := paramvec.New(rt.pool)
-			defer localParam.Release()
-			defer localGrad.Release()
-			sampler := data.NewSampler(rt.ds.Len(), cfg.BatchSize, cfg.Seed, id)
-			hist := rt.hists[id]
-			tc, tu := rt.tcs[id], rt.tus[id]
-			var velocity []float64
-			if cfg.Momentum > 0 {
-				velocity = make([]float64, rt.d)
-			}
-			iter := 0
-			for !rt.stop.Load() && !rt.budgetExhausted() {
-				if rt.budgetFullyReserved() {
-					runtime.Gosched() // final in-flight sweeps draining
-					continue
-				}
-				iter++
-				// Uncoordinated read: other workers may be mid-update,
-				// so this view can mix parameter versions (inconsistent).
-				readSeq := rt.updates.Load()
-				for i := range shared {
-					localParam.Theta[i] = atomicx.LoadFloat64(&shared[i])
-				}
-
-				batch := sampler.Next()
-				zero(localGrad.Theta)
-				var t0 time.Time
-				if cfg.SampleTiming {
-					t0 = time.Now()
-				}
-				rt.net.BatchLossGrad(localParam.Theta, localGrad.Theta, rt.ds, batch, ws)
-				if cfg.SampleTiming {
-					tc.Observe(time.Since(t0))
-				}
-				step := rt.effectiveStep(localGrad.Theta, velocity)
-
-				// Reserve a budget unit before touching the shared array:
-				// HOGWILD has no abort path, so a reservation is always
-				// applied and the budget stays exact. On failure the
-				// in-flight sweeps of the final budgeted updates are still
-				// draining; re-check the stop conditions.
-				if !rt.reserveUpdate() {
-					continue
-				}
-
-				// Uncoordinated component-wise update.
-				if cfg.SampleTiming {
-					t0 = time.Now()
-				}
-				eta := rt.adaptedEta(rt.updates.Load() - readSeq)
-				if S == 1 {
-					for i, g := range step {
-						if g != 0 {
-							atomicx.AddFloat64(&shared[i], -eta*g)
-						}
-					}
-				} else {
-					for k := 0; k < S; k++ {
-						s := (id + iter + k) % S
-						for i := bounds[s].Lo; i < bounds[s].Hi; i++ {
-							if g := step[i]; g != 0 {
-								atomicx.AddFloat64(&shared[i], -eta*g)
-							}
-						}
-						rt.shardPub[s].n.Add(1)
-					}
-				}
-				if cfg.SampleTiming {
-					tu.Observe(time.Since(t0))
-				}
-				applied := rt.applyUpdate()
-				hist.Observe(applied - 1 - readSeq)
-			}
-		}(w)
+	if s := len(st.bounds); s > 1 {
+		st.epoch = &shardEpoch{
+			failed:  newCounters(s),
+			dropped: newCounters(s),
+			pub:     newCounters(s),
+			stale:   newCounters(s),
+		}
+		rt.epoch = st.epoch
 	}
+	return st
+}
 
-	snapshot = func(dst []float64) {
-		for i := range dst {
-			dst[i] = atomicx.LoadFloat64(&shared[i])
+func (st *hogwildStrategy) setup(w *loopWorker) {
+	w.param = paramvec.New(st.rt.pool)
+	w.velocity = st.rt.maybeVelocity()
+}
+
+func (st *hogwildStrategy) begin(w *loopWorker) bool { return st.rt.defaultBegin() }
+
+func (st *hogwildStrategy) read(w *loopWorker) paramvec.View {
+	// Uncoordinated read: other workers may be mid-update, so this view
+	// can mix parameter versions (inconsistent).
+	w.readSeq = st.rt.updates.Load()
+	theta := w.param.Theta
+	for i := range st.shared {
+		theta[i] = atomicx.LoadFloat64(&st.shared[i])
+	}
+	return paramvec.FlatView(theta)
+}
+
+func (st *hogwildStrategy) commit(w *loopWorker, step []float64) bool {
+	rt := st.rt
+	// Reserve a budget unit before touching the shared array: HOGWILD has
+	// no abort path, so a reservation is always applied and the budget
+	// stays exact. On failure the in-flight sweeps of the final budgeted
+	// updates are still draining; the loop gate re-checks the stop
+	// conditions.
+	if !rt.reserveUpdate() {
+		return false
+	}
+	eta := rt.adaptedEta(rt.updates.Load() - w.readSeq)
+	if S := len(st.bounds); S == 1 {
+		for i, g := range step {
+			if g != 0 {
+				atomicx.AddFloat64(&st.shared[i], -eta*g)
+			}
+		}
+	} else {
+		for k := 0; k < S; k++ {
+			s := (w.id + w.iter + k) % S
+			for i := st.bounds[s].Lo; i < st.bounds[s].Hi; i++ {
+				if g := step[i]; g != 0 {
+					atomicx.AddFloat64(&st.shared[i], -eta*g)
+				}
+			}
+			st.epoch.pub[s].n.Add(1)
 		}
 	}
-	cleanup = func() {
-		accounting.Release()
+	applied := rt.applyUpdate()
+	w.hist.Observe(applied - 1 - w.readSeq)
+	return true
+}
+
+func (st *hogwildStrategy) snapshot(dst []float64) {
+	for i := range dst {
+		dst[i] = atomicx.LoadFloat64(&st.shared[i])
 	}
-	return snapshot, cleanup
+}
+
+func (st *hogwildStrategy) cleanup() {
+	st.accounting.Release()
 }

@@ -1,151 +1,224 @@
 package sgd
 
 import (
-	"runtime"
 	"sync"
-	"time"
 
-	"leashedsgd/internal/data"
 	"leashedsgd/internal/paramvec"
 )
 
-// launchLeashed starts Leashed-SGD workers (Algorithm 3).
+// leashedStrategy is Leashed-SGD (Algorithm 3) under the unified worker
+// loop, parameterized over paramvec.ParamStore — ONE implementation covers
+// the paper's single chain (paramvec.Shared, Config.Shards <= 1), the
+// sharded store (paramvec.ShardedShared, Shards > 1) and the autotuned run
+// (Config.AutoShard, where the controller swaps the store between epochs
+// behind the same interface).
 //
 // Per iteration a worker:
-//  1. acquires the latest published ParameterVector with the lock-free
-//     latest_pointer protocol and computes its gradient directly against the
-//     published theta — zero-copy reads (paper P3);
-//  2. enters the LAU-SPC loop: check out a fresh vector, copy the (possibly
-//     newer) latest published values into it, fold in the gradient, and try
-//     to publish with a single CAS (paper P1, P5);
-//  3. on CAS failure, retries up to the persistence bound Tp, after which
-//     the gradient is dropped and the vector recycled (contention
-//     regulation, Sec. IV-2);
-//  4. replaced vectors are marked stale and recycled once the last reader
-//     leaves (paper P2, P4).
+//
+//  1. leases every chain's latest published vector with the lock-free
+//     latest_pointer protocol (paramvec.Lease) and computes its gradient
+//     DIRECTLY against the published segments through the stitched read-only
+//     view — zero-copy reads (paper P3) on every store, including the
+//     sharded one, which PR 1 had traded for a copy-per-read;
+//  2. releases the lease, which validates the per-chain sequence numbers (a
+//     seqlock over the chains) and classifies the read as provably
+//     consistent or possibly mixed-version (Result.ConsistentReads /
+//     MixedReads — the staleness/consistency measurement PR 1 introduced,
+//     now without the copy);
+//  3. enters the LAU-SPC loop per chain, traversing chains in a rotated
+//     order (start chain = worker id mod C) so concurrent workers spread
+//     over the chains instead of marching through them in lockstep: check
+//     out a fresh chain vector, copy the (possibly newer) latest published
+//     segment into it, fold in the gradient segment, and try to publish with
+//     a single CAS (paper P1, P5);
+//  4. on CAS failure, retries up to the persistence bound Tp, after which
+//     that chain's gradient segment is dropped and the vector recycled
+//     (contention regulation, Sec. IV-2); replaced vectors are marked stale
+//     and recycled once the last reader leaves (paper P2, P4).
+//
+// The global update counter advances once per iteration that published at
+// least one chain; an iteration that published nothing refunds its budget
+// reservation so MaxUpdates stays exact. Staleness and contention are
+// counted per chain in the shardEpoch.
 //
 // The LeashedAdaptive variant (extension, DESIGN.md §6) replaces the fixed
-// Tp with a bound that shrinks under observed contention: each worker halves
-// its local bound after a dropped update and grows it by one after an
-// uncontended publish, approximating the γ-regulation of Corollary 3.2
+// Tp with a bound that shrinks under observed contention: a worker halves
+// its local bound after a dropped segment and grows it by one after a fully
+// uncontended iteration, approximating the γ-regulation of Corollary 3.2
 // without manual tuning.
-func (rt *runCtx) launchLeashed(wg *sync.WaitGroup, initVec *paramvec.Vector) (snapshot func([]float64), cleanup func()) {
+type leashedStrategy struct {
+	nopHooks
+	rt    *runCtx
+	epoch *shardEpoch // fixed publication epoch; nil when autotuned
+	auto  *autoTuner  // epoch owner for autotuned runs; nil otherwise
+	seqs  []int64     // monitor snapshot seq reuse
+}
+
+// newLeashedStrategy publishes θ0 into the run's store — autotuned runs get
+// the controller-owned first epoch, static runs a fixed one — and hands the
+// init vector's buffer back to the pool.
+func (rt *runCtx) newLeashedStrategy(initVec *paramvec.Vector) *leashedStrategy {
 	cfg := rt.cfg
-	var shared paramvec.Shared
-	shared.Publish(initVec)
-	adaptive := cfg.Algo == LeashedAdaptive
+	if cfg.AutoShard {
+		maxS := min(cfg.AutoShardMax, rt.d)
+		at := &autoTuner{
+			tuner: newShardTuner(cfg.AutoShardInitial, maxS),
+			buf:   make([]float64, rt.d),
+		}
+		at.epoch = newShardEpoch(rt.d, at.tuner.s, initVec.Theta)
+		at.trajectory = []int{at.epoch.store.Chains()}
+		initVec.Release()
+		rt.auto = at
+		return &leashedStrategy{rt: rt, auto: at}
+	}
+	e := newShardEpoch(rt.d, rt.numShards(), initVec.Theta)
+	initVec.Release()
+	rt.epoch = e
+	rt.store = e.store
+	return &leashedStrategy{rt: rt, epoch: e}
+}
 
-	// The published chain's sequence number doubles as the global update
-	// counter; mirror it into rt.updates for the monitor via the
-	// publishing worker.
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			ws := rt.net.NewWorkspace()
-			localGrad := paramvec.New(rt.pool)
-			defer localGrad.Release()
-			sampler := data.NewSampler(rt.ds.Len(), cfg.BatchSize, cfg.Seed, id)
-			hist := rt.hists[id]
-			tc, tu := rt.tcs[id], rt.tus[id]
-			var velocity []float64
-			if cfg.Momentum > 0 {
-				velocity = make([]float64, rt.d)
-			}
-			localBound := cfg.Persistence
-			if adaptive {
-				localBound = 4
-			}
-			for !rt.stop.Load() && !rt.budgetExhausted() {
-				if rt.budgetFullyReserved() {
-					runtime.Gosched() // final in-flight updates draining
-					continue
-				}
-				// (1) Gradient against the published vector, in place.
-				latest := shared.Latest()
-				readT := latest.T
-				batch := sampler.Next()
-				zero(localGrad.Theta)
-				var t0 time.Time
-				if cfg.SampleTiming {
-					t0 = time.Now()
-				}
-				rt.net.BatchLossGrad(latest.Theta, localGrad.Theta, rt.ds, batch, ws)
-				if cfg.SampleTiming {
-					tc.Observe(time.Since(t0))
-				}
-				latest.StopReading()
-				step := rt.effectiveStep(localGrad.Theta, velocity)
+func (st *leashedStrategy) setup(w *loopWorker) {
+	w.velocity = st.rt.maybeVelocity()
+}
 
-				// (2) LAU-SPC loop, under one reserved unit of the
-				// update budget. If the budget is fully claimed the
-				// gradient is discarded; when an in-flight claim is
-				// refunded the outer loop tries again, otherwise it
-				// exits on budgetExhausted.
-				if !rt.reserveUpdate() {
-					continue
-				}
-				newParam := paramvec.New(rt.pool)
-				numTries := 0
-				published := false
-				for {
-					cur := shared.Latest()
-					if cfg.SampleTiming {
-						t0 = time.Now()
-					}
-					newParam.CopyFrom(cur)
-					cur.StopReading()
-					newParam.Update(step, rt.adaptedEta(newParam.T-readT))
-					ok := shared.TryPublish(cur, newParam)
-					if cfg.SampleTiming {
-						tu.Observe(time.Since(t0))
-					}
-					if ok {
-						published = true
-						rt.applyUpdate()
-						// Staleness: publishes between the gradient's
-						// source vector and this one, exclusive.
-						hist.Observe(newParam.T - 1 - readT)
-						break
-					}
-					rt.failedCAS.Add(1)
-					numTries++
-					if localBound >= 0 && numTries > localBound {
-						newParam.Release()
-						rt.dropped.Add(1)
-						break
-					}
-					if rt.stop.Load() {
-						newParam.Release()
-						break
-					}
-				}
-				if !published {
-					rt.refundUpdate()
-				}
-				if adaptive {
-					if published && numTries == 0 {
-						if localBound < 64 {
-							localBound++
-						}
-					} else if !published {
-						localBound /= 2
-					}
-				}
-			}
-		}(w)
+// begin gates the iteration and pins the live epoch: autotuned workers hold
+// the epoch read lock for exactly one iteration, so the controller's
+// re-shard (write lock) waits for in-flight iterations and blocks new ones.
+func (st *leashedStrategy) begin(w *loopWorker) bool {
+	if !st.rt.defaultBegin() {
+		return false
+	}
+	if st.auto != nil {
+		st.auto.mu.RLock()
+		w.epoch = st.auto.epoch
+	} else {
+		w.epoch = st.epoch
+	}
+	return true
+}
+
+func (st *leashedStrategy) end(w *loopWorker) {
+	if st.auto != nil {
+		st.auto.mu.RUnlock()
+	}
+}
+
+// read leases the chains' latest vectors — the zero-copy gradient view.
+func (st *leashedStrategy) read(w *loopWorker) paramvec.View {
+	return w.lease.Acquire(w.epoch.store)
+}
+
+// endRead releases the lease and tallies the consistency classification.
+func (st *leashedStrategy) endRead(w *loopWorker) {
+	if w.lease.Release() {
+		w.consistent++
+	} else {
+		w.mixed++
+	}
+}
+
+// commit runs the per-chain LAU-SPC publish loops under one reserved unit of
+// the update budget.
+func (st *leashedStrategy) commit(w *loopWorker, step []float64) bool {
+	rt := st.rt
+	e := w.epoch
+	store := e.store
+	C := store.Chains()
+
+	// Claim a budget unit before anything becomes visible; when the budget
+	// is fully claimed the gradient is discarded and the loop gate
+	// re-checks the stop conditions (resuming only if a claim is refunded).
+	if !rt.reserveUpdate() {
+		return false
 	}
 
-	snapshot = func(dst []float64) {
-		v := shared.Latest()
-		copy(dst, v.Theta)
-		v.StopReading()
+	publishedAny := false
+	cleanIter := true // every chain published without a retry
+	droppedAny := false
+	for k := 0; k < C; k++ {
+		c := (w.id + k) % C
+		r := store.ChainRange(c)
+		readT := w.lease.Seq(c)
+		newSeg := store.NewChainVec(c)
+		tries := 0
+		for {
+			cur := store.ChainLatest(c)
+			newSeg.CopyFrom(cur)
+			cur.StopReading()
+			newSeg.Update(step[r.Lo:r.Hi], rt.adaptedEta(newSeg.T-readT))
+			if store.ChainTryPublish(c, cur, newSeg) {
+				publishedAny = true
+				e.pub[c].n.Add(1)
+				// Staleness: publishes between the gradient's source
+				// vector and this one, exclusive, in this chain's own
+				// sequence numbers.
+				stale := newSeg.T - 1 - readT
+				w.hist.Observe(stale)
+				e.stale[c].n.Add(stale)
+				if tries > 0 {
+					cleanIter = false
+				}
+				break
+			}
+			e.failed[c].n.Add(1)
+			tries++
+			if w.bound >= 0 && tries > w.bound {
+				newSeg.Release()
+				e.dropped[c].n.Add(1)
+				droppedAny = true
+				break
+			}
+			if rt.stop.Load() {
+				newSeg.Release()
+				cleanIter = false
+				break
+			}
+		}
 	}
-	cleanup = func() {
-		// Retire the final published vector so the pool gauge drains.
-		v := shared.Peek()
-		v.MarkStale()
-		v.SafeDelete()
+	if publishedAny {
+		rt.applyUpdate()
+	} else {
+		rt.refundUpdate()
 	}
-	return snapshot, cleanup
+	// Adaptive persistence: grow only after a fully uncontended iteration,
+	// halve only after a dropped gradient segment (a retried-but-successful
+	// publish is neither).
+	if w.adaptive {
+		if droppedAny {
+			w.bound /= 2
+		} else if cleanIter && publishedAny {
+			if w.bound < 64 {
+				w.bound++
+			}
+		}
+	}
+	return true
+}
+
+// launchAux starts the autotune controller for autotuned runs.
+func (st *leashedStrategy) launchAux(wg *sync.WaitGroup) {
+	if st.auto != nil {
+		st.auto.launchController(st.rt, wg)
+	}
+}
+
+// snapshot copies the published parameters under read protection; the
+// per-chain sequence slice is hoisted and reused across monitor ticks.
+func (st *leashedStrategy) snapshot(dst []float64) {
+	if st.auto != nil {
+		st.auto.mu.RLock()
+		st.seqs = st.auto.epoch.store.Snapshot(dst, st.seqs)
+		st.auto.mu.RUnlock()
+		return
+	}
+	st.seqs = st.epoch.store.Snapshot(dst, st.seqs)
+}
+
+func (st *leashedStrategy) cleanup() {
+	if st.auto != nil {
+		st.auto.epoch.store.Retire()
+		return
+	}
+	st.epoch.store.Retire()
 }

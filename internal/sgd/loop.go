@@ -1,0 +1,225 @@
+// The unified, store-parameterized worker loop. Every algorithm — SEQ/ASYNC,
+// HOGWILD!, the Leashed variants (single-chain, sharded and autotuned, all
+// through paramvec.ParamStore) and lock-step SyncSGD — runs its workers
+// through workerLoop below; what differs per algorithm is reduced to the
+// strategy hooks: how the parameter view for the gradient read is produced
+// (lock-copy, atomic-copy, zero-copy lease, round-immutable share), and what
+// the publish protocol does with the computed step (locked in-place update,
+// component-atomic adds, per-chain LAU-SPC, hand-off to the round
+// coordinator). The loop itself owns the pieces every algorithm shares: the
+// stop/budget gate, batch sampling, gradient computation and Tc/Tu timing.
+package sgd
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"leashedsgd/internal/data"
+	"leashedsgd/internal/metrics"
+	"leashedsgd/internal/nn"
+	"leashedsgd/internal/paramvec"
+)
+
+// strategy supplies the per-algorithm pieces of the unified worker loop plus
+// the monitor-facing snapshot/cleanup pair. One strategy value is shared by
+// all workers; per-worker state lives in the loopWorker.
+type strategy interface {
+	// setup initializes per-worker strategy state (e.g. checks out the
+	// private read-copy buffer for copy-read protocols).
+	setup(w *loopWorker)
+	// begin gates the next iteration — blocking for coordinated
+	// protocols — and returns false to end the worker's loop.
+	begin(w *loopWorker) bool
+	// read produces the parameter view the gradient is computed against
+	// and records the read-sequence baseline for staleness.
+	read(w *loopWorker) paramvec.View
+	// endRead releases whatever read acquired (lease validation for the
+	// zero-copy protocols; no-op for copy reads).
+	endRead(w *loopWorker)
+	// commit runs the publish protocol for the computed step, including
+	// budget reservation/refund and staleness observation. It reports
+	// whether an update phase actually ran — false when the budget
+	// reservation failed and the step was discarded — so aborted commits
+	// do not contaminate the Tu distribution with near-zero samples.
+	commit(w *loopWorker, step []float64) bool
+	// end closes the iteration (epoch-lock release for autotuned runs).
+	end(w *loopWorker)
+	// loopTimesCommit reports whether the loop should sample commit's
+	// duration as Tu; strategies whose update happens elsewhere (the sync
+	// coordinator) time it themselves and return false.
+	loopTimesCommit() bool
+	// launchAux starts any auxiliary goroutines (round coordinator,
+	// autotune controller) tracked by wg.
+	launchAux(wg *sync.WaitGroup)
+	// snapshot copies a consistent view of the current parameters into
+	// dst; called only from the monitor goroutine and after quiesce.
+	snapshot(dst []float64)
+	// cleanup releases the shared parameter state after the run.
+	cleanup()
+}
+
+// nopHooks provides the no-op defaults strategies embed.
+type nopHooks struct{}
+
+func (nopHooks) setup(*loopWorker)         {}
+func (nopHooks) endRead(*loopWorker)       {}
+func (nopHooks) end(*loopWorker)           {}
+func (nopHooks) loopTimesCommit() bool     { return true }
+func (nopHooks) launchAux(*sync.WaitGroup) {}
+
+// loopWorker is one worker's state in the unified loop: the pieces every
+// algorithm needs (workspace, gradient accumulator, sampler, metrics,
+// optional momentum velocity) plus the strategy-specific slots (read-copy
+// buffer, lease, current epoch, persistence bound).
+type loopWorker struct {
+	id       int
+	ws       *nn.Workspace
+	grad     *paramvec.Vector // local gradient accumulator (always flat/private)
+	param    *paramvec.Vector // private read-copy target; nil for zero-copy reads
+	sampler  *data.Sampler
+	hist     *metrics.Hist
+	tc, tu   *metrics.DurationSampler
+	velocity []float64
+	iter     int
+
+	// Copy-read protocols: the global update sequence at read time.
+	readSeq int64
+
+	// Leased zero-copy reads (Leashed variants).
+	lease      paramvec.Lease
+	epoch      *shardEpoch // current publication epoch, stashed by begin
+	bound      int         // local persistence bound (adapts under LeashedAdaptive)
+	adaptive   bool
+	consistent int64 // leased reads proven one global state
+	mixed      int64 // leased reads that may mix chain versions
+}
+
+func (rt *runCtx) newLoopWorker(id int) *loopWorker {
+	cfg := rt.cfg
+	w := &loopWorker{
+		id:       id,
+		ws:       rt.net.NewWorkspace(),
+		grad:     paramvec.New(rt.pool),
+		sampler:  data.NewSampler(rt.ds.Len(), cfg.BatchSize, cfg.Seed, id),
+		hist:     rt.hists[id],
+		tc:       rt.tcs[id],
+		tu:       rt.tus[id],
+		bound:    cfg.Persistence,
+		adaptive: cfg.Algo == LeashedAdaptive,
+	}
+	if w.adaptive {
+		w.bound = 4
+	}
+	return w
+}
+
+// maybeVelocity returns a fresh per-worker heavy-ball velocity when the
+// momentum extension is on. Strategies that support momentum call it in
+// setup; SYNC deliberately does not (it averages raw gradients, and
+// per-worker momentum would change the averaging semantics).
+func (rt *runCtx) maybeVelocity() []float64 {
+	if rt.cfg.Momentum > 0 {
+		return make([]float64, rt.d)
+	}
+	return nil
+}
+
+// defaultBegin is the uncoordinated iteration gate: run until stopped or the
+// update budget is spent, yielding while the final in-flight reservations
+// drain (so workers don't burn whole gradient passes that are guaranteed to
+// fail reservation).
+func (rt *runCtx) defaultBegin() bool {
+	for {
+		if rt.stop.Load() || rt.budgetExhausted() {
+			return false
+		}
+		if rt.budgetFullyReserved() {
+			runtime.Gosched()
+			continue
+		}
+		return true
+	}
+}
+
+// runWorkers starts cfg.Workers goroutines running the unified loop.
+func (rt *runCtx) runWorkers(wg *sync.WaitGroup, st strategy) {
+	for i := 0; i < rt.cfg.Workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rt.workerLoop(id, st)
+		}(i)
+	}
+}
+
+// workerLoop is THE training loop: gate, read, gradient, release, commit.
+func (rt *runCtx) workerLoop(id int, st strategy) {
+	cfg := rt.cfg
+	w := rt.newLoopWorker(id)
+	st.setup(w)
+	defer func() {
+		if w.param != nil {
+			w.param.Release()
+		}
+		w.grad.Release()
+		rt.consistentReads.Add(w.consistent)
+		rt.mixedReads.Add(w.mixed)
+	}()
+	timeCommit := st.loopTimesCommit()
+	for st.begin(w) {
+		w.iter++
+		pv := st.read(w)
+		batch := w.sampler.Next()
+		zero(w.grad.Theta)
+		var t0 time.Time
+		if cfg.SampleTiming {
+			t0 = time.Now()
+		}
+		rt.net.BatchLossGrad(pv, w.grad.Theta, rt.ds, batch, w.ws)
+		if cfg.SampleTiming {
+			w.tc.Observe(time.Since(t0))
+		}
+		st.endRead(w)
+		step := rt.effectiveStep(w.grad.Theta, w.velocity)
+		if cfg.SampleTiming && timeCommit {
+			t0 = time.Now()
+		}
+		committed := st.commit(w, step)
+		if cfg.SampleTiming && timeCommit && committed {
+			w.tu.Observe(time.Since(t0))
+		}
+		st.end(w)
+	}
+}
+
+// adaptedEta returns the step size for an update whose staleness estimate at
+// apply time is tau: η/(1+β·τ̂) with the configured TauAdaptiveBeta, or the
+// plain η when the extension is off.
+func (rt *runCtx) adaptedEta(tau int64) float64 {
+	beta := rt.cfg.TauAdaptiveBeta
+	if beta <= 0 || tau <= 0 {
+		return rt.cfg.Eta
+	}
+	return rt.cfg.Eta / (1 + beta*float64(tau))
+}
+
+// effectiveStep returns the vector the update rule should apply: the raw
+// gradient for plain SGD, or the heavy-ball velocity when momentum is on
+// (per-worker velocity — the extension documented in DESIGN.md §6).
+func (rt *runCtx) effectiveStep(grad, velocity []float64) []float64 {
+	if velocity == nil {
+		return grad
+	}
+	mu := rt.cfg.Momentum
+	for i, g := range grad {
+		velocity[i] = mu*velocity[i] + g
+	}
+	return velocity
+}
+
+func zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}

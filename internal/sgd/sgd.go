@@ -93,10 +93,13 @@ type Config struct {
 	// the paper's exact single-chain semantics. HOGWILD! uses the knob to
 	// rotate its component-update traversal order across shards; the other
 	// algorithms ignore it. Values above the parameter dimension clamp.
-	// The trade-off: a sharded vector has no single totally-ordered
-	// history, so gradient reads may mix per-shard versions (cross-shard
-	// skew) — consistency holds per shard, and staleness is measured per
-	// shard.
+	// Gradient reads stay zero-copy at every shard count: workers lease
+	// the per-shard published buffers (paramvec.Lease) and compute against
+	// them in place. The remaining trade-off is ordering only — a sharded
+	// vector has no single totally-ordered history, so a leased read may
+	// mix per-shard versions (cross-shard skew); each read is classified
+	// by seqlock validation into Result.ConsistentReads/MixedReads, and
+	// staleness is measured per shard.
 	Shards int
 
 	// AutoShard enables contention-adaptive shard-count autotuning for the
@@ -247,6 +250,16 @@ type Result struct {
 	TotalUpdates int64
 	Elapsed      time.Duration
 
+	// Trace is the loss-over-time record; Staleness the merged per-worker
+	// staleness histogram. Tc samples the gradient-computation phase and
+	// Tu the update phase, one sample per iteration each, with a uniform
+	// definition across algorithms: Tu covers the whole publish protocol
+	// of the iteration — lock acquisition for ASYNC, all LAU-SPC CAS
+	// attempts (up to Tp retries) for the Leashed variants, the averaged
+	// global step for SYNC. (Pre-ParamStore versions sampled single-chain
+	// Leashed per CAS attempt and excluded ASYNC's lock wait; the unified
+	// loop measures the synchronization cost as part of the update phase,
+	// which is the quantity the paper's Tc/Tu model reasons about.)
 	Trace     metrics.Trace
 	Staleness *metrics.Hist
 	Tc, Tu    *metrics.DurationSampler
@@ -262,6 +275,17 @@ type Result struct {
 	// exhausting the persistence bound.
 	FailedCAS      int64
 	DroppedUpdates int64
+
+	// Read-consistency classification of the leased zero-copy gradient
+	// reads (Leashed variants only; zero elsewhere). A read counts as
+	// Consistent when the seqlock validation at lease release proves no
+	// chain published during the read window — a true global state; on the
+	// single chain that is every read, by construction. MixedReads counts
+	// reads that may mix per-shard versions (the cross-shard skew the
+	// sharded trade-off admits). ConsistentReads + MixedReads is the total
+	// number of gradient reads taken through the leased view.
+	ConsistentReads int64
+	MixedReads      int64
 
 	// Per-shard contention breakdown (len = Shards; nil for algorithms
 	// that ignore the sharding knob). ShardPublishes counts successful
@@ -357,25 +381,24 @@ type runCtx struct {
 	stopped  chan struct{}
 	stopOnce sync.Once
 
-	failedCAS atomic.Int64
-	dropped   atomic.Int64
+	// Leased-read consistency tallies, flushed once per worker at exit.
+	consistentReads atomic.Int64
+	mixedReads      atomic.Int64
 
-	// Per-shard counters (indexed by shard, shared by all workers). Each
-	// counter sits on its own cache line so that instrumenting the publish
-	// path does not reintroduce the cross-shard write contention the
-	// sharding removes.
-	shardFailed  []paddedCounter
-	shardDropped []paddedCounter
-	shardPub     []paddedCounter
-	shardStale   []paddedCounter // per-shard staleness sums (count = shardPub)
-
+	// pool checks out the workers' private buffers (gradients, read
+	// copies); the published chains live in the strategy's ParamStore.
 	pool *paramvec.Pool
 
-	// sharded is set by the sharded Leashed launcher; its shard pools are
-	// folded into the memory accounting in full-vector equivalents.
-	sharded *paramvec.ShardedShared
+	// store is the static Leashed run's publication store; its chain pools
+	// are folded into the memory accounting in full-vector equivalents.
+	store paramvec.ParamStore
 
-	// auto is set by the autotuning Leashed launcher (autotune.go); it owns
+	// epoch is the fixed publication epoch of a static Leashed run, or
+	// HOGWILD!'s sweep-counter epoch (store nil); nil for the other
+	// algorithms and for autotuned runs (whose epochs at.auto owns).
+	epoch *shardEpoch
+
+	// auto is set by the autotuned Leashed strategy (autotune.go); it owns
 	// the live epoch and the cross-epoch accounting.
 	auto *autoTuner
 
@@ -395,19 +418,13 @@ func newCounters(n int) []paddedCounter { return make([]paddedCounter, n) }
 
 func newRuntime(cfg Config, net *nn.Network, ds *data.Dataset) *runCtx {
 	rt := &runCtx{
-		cfg:  cfg,
-		net:  net,
-		ds:   ds,
-		d:    net.ParamCount(),
+		cfg:     cfg,
+		net:     net,
+		ds:      ds,
+		d:       net.ParamCount(),
 		pool:    paramvec.NewPool(net.ParamCount()),
 		done:    make(chan struct{}),
 		stopped: make(chan struct{}),
-	}
-	if s := rt.numShards(); s > 1 {
-		rt.shardFailed = newCounters(s)
-		rt.shardDropped = newCounters(s)
-		rt.shardPub = newCounters(s)
-		rt.shardStale = newCounters(s)
 	}
 	rt.hists = make([]*metrics.Hist, cfg.Workers)
 	rt.tcs = make([]*metrics.DurationSampler, cfg.Workers)
@@ -497,17 +514,17 @@ func (rt *runCtx) numShards() int {
 }
 
 // liveVectors is the live-buffer gauge in full-vector equivalents: the
-// full-dimension pool's count plus the sharded pools' count divided by the
-// shard count, rounded up (S shard buffers hold one vector's worth of
-// parameters).
+// full-dimension pool's count plus the publication store's chain-buffer
+// count divided by the chain count, rounded up (C chain buffers hold one
+// vector's worth of parameters).
 func (rt *runCtx) liveVectors() int64 {
 	n := rt.pool.Live()
-	if rt.sharded != nil {
-		s := int64(rt.sharded.NumShards())
-		n += (rt.sharded.Live() + s - 1) / s
-	}
-	if rt.auto != nil {
+	switch {
+	case rt.auto != nil:
 		n += rt.auto.liveEq()
+	case rt.store != nil:
+		c := int64(rt.store.Chains())
+		n += (rt.store.Live() + c - 1) / c
 	}
 	return n
 }
@@ -542,33 +559,27 @@ func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
 	initVec := paramvec.New(rt.pool)
 	initVec.RandInit(rng.New(cfg.Seed), nn.DefaultSigma)
 
-	// snapshot copies a consistent view of the current parameters into
-	// dst; provided by the per-algorithm launcher.
-	var snapshot func(dst []float64)
-	var wg sync.WaitGroup
-	var cleanup func()
-
+	// One store-parameterized worker loop runs every algorithm; the
+	// strategy carries what differs (read protocol, publish protocol,
+	// snapshot and cleanup). See loop.go.
+	var st strategy
 	switch cfg.Algo {
 	case Seq, Async:
-		snapshot, cleanup = rt.launchAsync(&wg, initVec)
+		st = rt.newAsyncStrategy(initVec)
 	case Hogwild:
-		snapshot, cleanup = rt.launchHogwild(&wg, initVec)
+		st = rt.newHogwildStrategy(initVec)
 	case Leashed, LeashedAdaptive:
-		switch {
-		case cfg.AutoShard:
-			snapshot, cleanup = rt.launchLeashedAuto(&wg, initVec)
-		case rt.numShards() > 1:
-			snapshot, cleanup = rt.launchLeashedSharded(&wg, initVec)
-		default:
-			snapshot, cleanup = rt.launchLeashed(&wg, initVec)
-		}
+		st = rt.newLeashedStrategy(initVec)
 	case SyncLockstep:
-		snapshot, cleanup = rt.launchSync(&wg, initVec)
+		st = rt.newSyncStrategy(initVec)
 	default:
 		return nil, fmt.Errorf("sgd: unknown algorithm %v", cfg.Algo)
 	}
+	var wg sync.WaitGroup
+	rt.runWorkers(&wg, st)
+	st.launchAux(&wg)
 
-	res := rt.monitor(snapshot)
+	res := rt.monitor(st.snapshot)
 	rt.stop.Store(true)
 	rt.stopOnce.Do(func() { close(rt.stopped) })
 	wg.Wait()
@@ -576,10 +587,8 @@ func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
 	// snapshot can predate updates that were in flight when the stop
 	// condition fired, and FinalParams must be the true final state
 	// (e.g. exactly MaxUpdates applications for deterministic replay).
-	snapshot(res.FinalParams)
-	if cleanup != nil {
-		cleanup()
-	}
+	st.snapshot(res.FinalParams)
+	st.cleanup()
 
 	// Merge per-worker instrumentation.
 	res.Staleness = metrics.NewHist(cfg.StalenessBound)
@@ -589,8 +598,6 @@ func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
 		res.Tc.Merge(rt.tcs[i])
 		res.Tu.Merge(rt.tus[i])
 	}
-	res.FailedCAS = rt.failedCAS.Load()
-	res.DroppedUpdates = rt.dropped.Load()
 	res.TotalUpdates = rt.updates.Load()
 	res.Publishes = res.TotalUpdates
 	res.PeakLiveVectors = rt.pool.Peak()
@@ -598,22 +605,28 @@ func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
 	res.BufferAllocs = rt.pool.Allocs()
 	res.BufferReuses = rt.pool.Reuses()
 	res.Shards = rt.numShards()
-	if rt.shardFailed != nil {
-		e := &shardEpoch{failed: rt.shardFailed, dropped: rt.shardDropped,
-			pub: rt.shardPub, stale: rt.shardStale}
-		e.rollup(res)
+	res.ConsistentReads = rt.consistentReads.Load()
+	res.MixedReads = rt.mixedReads.Load()
+	switch {
+	case rt.auto != nil:
+		rt.auto.fill(res)
+	case rt.epoch != nil && len(rt.epoch.pub) > 1:
+		// Sharded static run (Leashed or HOGWILD! sweeps): full
+		// per-shard breakdown.
+		rt.epoch.rollup(res)
+	case rt.epoch != nil:
+		// Single-chain static Leashed run: aggregate totals only (the
+		// Result contract keeps the Shard* slices nil).
+		rt.epoch.foldTotals(res)
 	}
-	if rt.sharded != nil {
-		// Fold the shard pools into the accounting in full-vector
-		// equivalents (per-shard peaks are an upper bound on the true
-		// simultaneous peak; allocation counts are exact).
-		peak, allocs, reuses := poolEquivalents(rt.sharded)
+	if rt.store != nil {
+		// Fold the store's chain pools into the accounting in
+		// full-vector equivalents (per-chain peaks are an upper bound on
+		// the true simultaneous peak; allocation counts are exact).
+		peak, allocs, reuses := poolEquivalents(rt.store)
 		res.PeakLiveVectors += peak
 		res.BufferAllocs += allocs
 		res.BufferReuses += reuses
-	}
-	if rt.auto != nil {
-		rt.auto.fill(res)
 	}
 	return res, nil
 }

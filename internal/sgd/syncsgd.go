@@ -4,71 +4,83 @@ import (
 	"sync"
 	"time"
 
-	"leashedsgd/internal/data"
 	"leashedsgd/internal/paramvec"
 	"leashedsgd/internal/tensor"
 )
 
-// launchSync starts lock-step synchronous SGD (SyncSGD, paper Sec. I): every
-// round, all m workers compute a gradient against the same parameter
-// snapshot, a coordinator averages the m gradients and takes one global step
-// — statistically equivalent to sequential SGD with an m× larger batch
-// [Zinkevich et al.; Gupta et al.], and rate-limited by the slowest worker
-// per round (the straggler penalty that motivates asynchronous variants).
+// syncStrategy is lock-step synchronous SGD (SyncSGD, paper Sec. I) under
+// the unified worker loop: every round, all m workers compute a gradient
+// against the same parameter snapshot, a coordinator averages the m
+// gradients and takes one global step — statistically equivalent to
+// sequential SGD with an m× larger batch [Zinkevich et al.; Gupta et al.],
+// and rate-limited by the slowest worker per round (the straggler penalty
+// that motivates asynchronous variants).
 //
-// One round counts as one update in the global order; staleness is 0 by
-// construction.
-func (rt *runCtx) launchSync(wg *sync.WaitGroup, initVec *paramvec.Vector) (snapshot func([]float64), cleanup func()) {
+// The round barrier maps onto the loop hooks: begin blocks on the worker's
+// start channel (closed channel = run over — workers deliberately do NOT
+// check the stop flag, so every signaled round is answered and the
+// coordinator can never deadlock collecting gradients); read returns the
+// round-immutable shared vector zero-copy; commit hands the gradient to the
+// coordinator. Reservation, the global step and the Tu sample happen
+// coordinator-side, which is why loopTimesCommit is false. One round counts
+// as one update in the global order; staleness is 0 by construction.
+type syncStrategy struct {
+	nopHooks
+	rt     *runCtx
+	mtx    sync.Mutex // guards shared between rounds (monitor snapshots)
+	shared *paramvec.Vector
+	start  []chan struct{}
+	done   chan []float64
+}
+
+func (rt *runCtx) newSyncStrategy(initVec *paramvec.Vector) *syncStrategy {
+	st := &syncStrategy{
+		rt:     rt,
+		shared: initVec,
+		start:  make([]chan struct{}, rt.cfg.Workers),
+		done:   make(chan []float64, rt.cfg.Workers),
+	}
+	for w := range st.start {
+		st.start[w] = make(chan struct{}, 1)
+	}
+	return st
+}
+
+// SYNC keeps the no-op setup: w.velocity stays nil, so the momentum
+// extension never applies — the coordinator averages raw gradients and steps
+// with the plain η.
+
+func (st *syncStrategy) begin(w *loopWorker) bool {
+	_, ok := <-st.start[w.id]
+	return ok
+}
+
+func (st *syncStrategy) read(w *loopWorker) paramvec.View {
+	// The shared vector is immutable for the round: zero-copy share.
+	return paramvec.FlatView(st.shared.Theta)
+}
+
+func (st *syncStrategy) commit(w *loopWorker, step []float64) bool {
+	// The gradient buffer stays untouched until the coordinator has
+	// collected it: the worker parks in begin until the next round signal,
+	// which the coordinator sends only after draining all m gradients.
+	// The update itself (and its Tu sample) happens coordinator-side.
+	st.done <- step
+	return true
+}
+
+func (st *syncStrategy) loopTimesCommit() bool { return false }
+
+// launchAux starts the round coordinator.
+func (st *syncStrategy) launchAux(wg *sync.WaitGroup) {
+	rt := st.rt
 	cfg := rt.cfg
-	var mtx sync.Mutex // guards shared between rounds (monitor snapshots)
-	shared := initVec
-
-	type roundGrad struct {
-		grad []float64
-	}
-	start := make([]chan struct{}, cfg.Workers)
-	done := make(chan roundGrad, cfg.Workers)
-	grads := make([]*paramvec.Vector, cfg.Workers)
-	for w := 0; w < cfg.Workers; w++ {
-		start[w] = make(chan struct{}, 1)
-		grads[w] = paramvec.New(rt.pool)
-	}
-
-	// Workers: wait for the round signal, compute a gradient against the
-	// (round-immutable) shared vector, report back.
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			ws := rt.net.NewWorkspace()
-			sampler := data.NewSampler(rt.ds.Len(), cfg.BatchSize, cfg.Seed, id)
-			tc := rt.tcs[id]
-			// No stop check here: the coordinator stops signaling when the
-			// run ends and closes the channel, so every received signal
-			// must be answered with a done send (deadlock freedom).
-			for range start[id] {
-				batch := sampler.Next()
-				zero(grads[id].Theta)
-				var t0 time.Time
-				if cfg.SampleTiming {
-					t0 = time.Now()
-				}
-				rt.net.BatchLossGrad(shared.Theta, grads[id].Theta, rt.ds, batch, ws)
-				if cfg.SampleTiming {
-					tc.Observe(time.Since(t0))
-				}
-				done <- roundGrad{grad: grads[id].Theta}
-			}
-		}(w)
-	}
-
-	// Coordinator: run rounds until stopped.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		defer func() {
-			for w := 0; w < cfg.Workers; w++ {
-				close(start[w])
+			for w := range st.start {
+				close(st.start[w])
 			}
 		}()
 		avg := make([]float64, rt.d)
@@ -76,44 +88,41 @@ func (rt *runCtx) launchSync(wg *sync.WaitGroup, initVec *paramvec.Vector) (snap
 		hist := rt.hists[0]
 		for !rt.stop.Load() && !rt.budgetExhausted() {
 			for w := 0; w < cfg.Workers; w++ {
-				start[w] <- struct{}{}
+				st.start[w] <- struct{}{}
 			}
 			tensor.Fill(avg, 0)
 			for w := 0; w < cfg.Workers; w++ {
-				g := <-done
-				tensor.Axpy(1/float64(cfg.Workers), g.grad, avg)
+				g := <-st.done
+				tensor.Axpy(1/float64(cfg.Workers), g, avg)
 			}
-			mtx.Lock()
+			st.mtx.Lock()
 			// The coordinator is the only reserver, so a failed
 			// reservation means the budget is exactly spent.
 			if !rt.reserveUpdate() {
-				mtx.Unlock()
+				st.mtx.Unlock()
 				break
 			}
 			var t0 time.Time
 			if cfg.SampleTiming {
 				t0 = time.Now()
 			}
-			shared.Update(avg, cfg.Eta)
+			st.shared.Update(avg, cfg.Eta)
 			if cfg.SampleTiming {
 				tu.Observe(time.Since(t0))
 			}
 			rt.applyUpdate()
-			mtx.Unlock()
+			st.mtx.Unlock()
 			hist.Observe(0) // lock-step: no concurrent updates by construction
 		}
 	}()
+}
 
-	snapshot = func(dst []float64) {
-		mtx.Lock()
-		copy(dst, shared.Theta)
-		mtx.Unlock()
-	}
-	cleanup = func() {
-		for w := 0; w < cfg.Workers; w++ {
-			grads[w].Release()
-		}
-		shared.Release()
-	}
-	return snapshot, cleanup
+func (st *syncStrategy) snapshot(dst []float64) {
+	st.mtx.Lock()
+	copy(dst, st.shared.Theta)
+	st.mtx.Unlock()
+}
+
+func (st *syncStrategy) cleanup() {
+	st.shared.Release()
 }

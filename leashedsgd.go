@@ -16,16 +16,22 @@
 // buffer pool and sequence counter (internal/paramvec.ShardedShared).
 // Workers then run the LAU-SPC publish loop per shard, so two workers
 // conflict only when they publish the same shard concurrently and the
-// failed-CAS rate falls ~1/S — at the cost of cross-shard read skew:
-// consistency and staleness are per shard, and gradient reads copy instead
-// of reading the published buffer zero-copy. Shards = 1 (the default) is
-// bit-for-bit the paper's single-chain algorithm. HOGWILD! reuses the knob
-// to rotate its component-update traversal across shards; per-shard
-// failed-CAS/dropped/staleness breakdowns land in Result.ShardFailedCAS and
-// friends. The test matrix covers every Algorithm × shard count {1, 4}
-// (internal/sgd), race-detector stress tests of both publication protocols
-// (internal/paramvec), and a shard-count contention sweep (`leashed run
-// shards`, BenchmarkShardSweepContention).
+// failed-CAS rate falls ~1/S. Both the single chain and the sharded store
+// implement one interface — internal/paramvec.ParamStore — and every
+// algorithm runs through one store-parameterized worker loop; gradient
+// reads lease the published buffers zero-copy at every shard count
+// (paramvec.Lease), with each read classified by seqlock validation as
+// consistent or mixed-version (Result.ConsistentReads/MixedReads — the
+// only sharding trade-off left is ordering, not copying). Shards = 1 (the
+// default) is bit-for-bit the paper's single-chain algorithm. HOGWILD!
+// reuses the knob to rotate its component-update traversal across shards;
+// per-shard failed-CAS/dropped/staleness breakdowns land in
+// Result.ShardFailedCAS and friends. The test matrix covers every
+// Algorithm × shard count {1, 4} (internal/sgd), a store conformance suite
+// plus race-detector stress tests over both ParamStore implementations
+// (internal/paramvec), a shard-count contention sweep (`leashed run
+// shards`, BenchmarkShardSweepContention), and a 0 allocs/op guard on the
+// leased read path (BenchmarkGradientReadAllocs).
 //
 // Config.AutoShard closes that loop: instead of fixing S, a controller
 // samples the failed-CAS rate per publish over a window and hill-climbs the
