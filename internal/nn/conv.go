@@ -116,6 +116,95 @@ func (c *Conv2D) Backward(params, grad, _, _, dOut, dIn []float64, scratch any) 
 	}
 }
 
+// convBatchScratch holds the batched lowering: every example's im2col panel
+// stacked side by side into ONE wide (InC·K·K) × (batch·outPixels) matrix,
+// so forward and backward each run a single GEMM for the entire batch
+// instead of per-example loops. The GEMM staging is filter-major
+// (Filters × batch·outPixels): each staging row maps to the layer's output
+// layout by plain contiguous stripe copies, and the orientations line up
+// with the fast kernel shapes — forward reduces over the receptive field
+// (W · cols), the weight gradient reduces over the long batch·outPixels
+// dimension (dOutT · colsᵀ).
+type convBatchScratch struct {
+	cols  tensor.Mat // (InC·K·K) × (batch·outH·outW) stacked im2col lowering
+	dCols tensor.Mat // gradient counterpart
+	tmpT  tensor.Mat // Filters × (batch·outH·outW): forward out / backward dOut staging
+}
+
+func (c *Conv2D) NewBatchScratch(batch int) any {
+	ohw := c.OutH() * c.OutW()
+	ckk := c.InC * c.K * c.K
+	return &convBatchScratch{
+		cols:  tensor.NewMat(ckk, batch*ohw),
+		dCols: tensor.NewMat(ckk, batch*ohw),
+		tmpT:  tensor.NewMat(c.Filters, batch*ohw),
+	}
+}
+
+// ForwardBatch lowers every example with im2col into one stacked wide
+// matrix, computes tmpT = filters·cols as a single GEMM, and copies each
+// filter row's contiguous per-example stripes into the output rows, fusing
+// the bias add.
+func (c *Conv2D) ForwardBatch(params []float64, in, out tensor.Mat, scratch any) {
+	s := scratch.(*convBatchScratch)
+	B := in.Rows
+	ohw := c.OutH() * c.OutW()
+	ckk := c.InC * c.K * c.K
+	F := c.Filters
+	cols := tensor.MatFrom(ckk, B*ohw, s.cols.Data[:ckk*B*ohw])
+	for b := 0; b < B; b++ {
+		tensor.Im2ColInto(cols, b*ohw, in.Row(b), c.InC, c.InH, c.InW, c.K)
+	}
+	tmpT := tensor.MatFrom(F, B*ohw, s.tmpT.Data[:F*B*ohw])
+	tensor.MatMul(tmpT, c.filterMat(params), cols)
+	bias := c.biases(params)
+	for b := 0; b < B; b++ {
+		outRow := out.Row(b)
+		for f := 0; f < F; f++ {
+			bf := bias[f]
+			src := tmpT.Row(f)[b*ohw : (b+1)*ohw]
+			dst := outRow[f*ohw : (f+1)*ohw]
+			for p, v := range src {
+				dst[p] = v + bf
+			}
+		}
+	}
+}
+
+// BackwardBatch gathers dOut into the filter-major staging (contiguous
+// stripe copies), then runs one GEMM per gradient: dW += dOutT·colsᵀ
+// (reduction over the whole batch·outPixels dimension), db += row sums, and
+// dCols = Wᵀ·dOutT scattered back per example with Col2ImAddFrom.
+func (c *Conv2D) BackwardBatch(params, grad []float64, _, _, dOut, dIn tensor.Mat, scratch any) {
+	s := scratch.(*convBatchScratch)
+	B := dOut.Rows
+	ohw := c.OutH() * c.OutW()
+	ckk := c.InC * c.K * c.K
+	F := c.Filters
+	cols := tensor.MatFrom(ckk, B*ohw, s.cols.Data[:ckk*B*ohw])
+	dOutT := tensor.MatFrom(F, B*ohw, s.tmpT.Data[:F*B*ohw])
+	for b := 0; b < B; b++ {
+		dRow := dOut.Row(b)
+		for f := 0; f < F; f++ {
+			copy(dOutT.Row(f)[b*ohw:(b+1)*ohw], dRow[f*ohw:(f+1)*ohw])
+		}
+	}
+	tensor.MatMulABTAdd(c.filterMat(grad), dOutT, cols)
+	gb := c.biases(grad)
+	for f := 0; f < F; f++ {
+		gb[f] += tensor.Sum(dOutT.Row(f))
+	}
+	if dIn.Data == nil {
+		return
+	}
+	dCols := tensor.MatFrom(ckk, B*ohw, s.dCols.Data[:ckk*B*ohw])
+	tensor.MatMulATB(dCols, c.filterMat(params), dOutT)
+	dIn.Zero()
+	for b := 0; b < B; b++ {
+		tensor.Col2ImAddFrom(dIn.Row(b), dCols, b*ohw, c.InC, c.InH, c.InW, c.K)
+	}
+}
+
 // MaxPool2D downsamples each channel of a (C, H, W) input with a
 // non-overlapping Size×Size max window (floor division on the borders, as in
 // the paper's CNN where an 11×11 map pools to 5×5). It owns no parameters.
@@ -155,9 +244,46 @@ func (p *MaxPool2D) NewScratch() any {
 }
 
 func (p *MaxPool2D) Forward(_, in, out []float64, scratch any) {
-	s := scratch.(*poolScratch)
+	p.forwardOne(in, out, scratch.(*poolScratch).argmax)
+}
+
+// forwardOne pools one example, recording winners into argmax (len OutDim).
+func (p *MaxPool2D) forwardOne(in, out []float64, argmax []int) {
 	outH, outW := p.OutH(), p.OutW()
 	oi := 0
+	if p.Size == 2 {
+		// The paper's architectures pool exclusively with 2×2 windows;
+		// the unrolled four-way compare avoids the window loops' bounds
+		// and index arithmetic per output element.
+		for ch := 0; ch < p.C; ch++ {
+			base := ch * p.InH * p.InW
+			for oy := 0; oy < outH; oy++ {
+				rowBase := base + oy*2*p.InW
+				for ox := 0; ox < outW; ox++ {
+					i0 := rowBase + ox*2
+					i2 := i0 + p.InW
+					v0, v1, v2, v3 := in[i0], in[i0+1], in[i2], in[i2+1]
+					// Tournament compare: two independent pairs then a
+					// final, keeping the dependency chains short.
+					b01, j01 := v0, i0
+					if v1 > v0 {
+						b01, j01 = v1, i0+1
+					}
+					b23, j23 := v2, i2
+					if v3 > v2 {
+						b23, j23 = v3, i2+1
+					}
+					if b23 > b01 {
+						b01, j01 = b23, j23
+					}
+					out[oi] = b01
+					argmax[oi] = j01
+					oi++
+				}
+			}
+		}
+		return
+	}
 	for ch := 0; ch < p.C; ch++ {
 		base := ch * p.InH * p.InW
 		for oy := 0; oy < outH; oy++ {
@@ -173,7 +299,7 @@ func (p *MaxPool2D) Forward(_, in, out []float64, scratch any) {
 					}
 				}
 				out[oi] = best
-				s.argmax[oi] = bestIdx
+				argmax[oi] = bestIdx
 				oi++
 			}
 		}
@@ -184,9 +310,38 @@ func (p *MaxPool2D) Backward(_, _, _, _, dOut, dIn []float64, scratch any) {
 	if dIn == nil {
 		return
 	}
-	s := scratch.(*poolScratch)
+	p.backwardOne(dOut, dIn, scratch.(*poolScratch).argmax)
+}
+
+// backwardOne routes one example's gradient to the recorded max winners.
+func (p *MaxPool2D) backwardOne(dOut, dIn []float64, argmax []int) {
 	tensor.Fill(dIn, 0)
-	for oi, ii := range s.argmax {
+	for oi, ii := range argmax {
 		dIn[ii] += dOut[oi]
+	}
+}
+
+// NewBatchScratch records max winners for the whole minibatch
+// (batch × OutDim).
+func (p *MaxPool2D) NewBatchScratch(batch int) any {
+	return &poolScratch{argmax: make([]int, batch*p.OutDim())}
+}
+
+func (p *MaxPool2D) ForwardBatch(_ []float64, in, out tensor.Mat, scratch any) {
+	s := scratch.(*poolScratch)
+	od := p.OutDim()
+	for b := 0; b < in.Rows; b++ {
+		p.forwardOne(in.Row(b), out.Row(b), s.argmax[b*od:(b+1)*od])
+	}
+}
+
+func (p *MaxPool2D) BackwardBatch(_, _ []float64, _, _, dOut, dIn tensor.Mat, scratch any) {
+	if dIn.Data == nil {
+		return
+	}
+	s := scratch.(*poolScratch)
+	od := p.OutDim()
+	for b := 0; b < dOut.Rows; b++ {
+		p.backwardOne(dOut.Row(b), dIn.Row(b), s.argmax[b*od:(b+1)*od])
 	}
 }

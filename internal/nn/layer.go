@@ -17,6 +17,7 @@ package nn
 
 import (
 	"fmt"
+	"math"
 
 	"leashedsgd/internal/paramvec"
 	"leashedsgd/internal/tensor"
@@ -157,6 +158,107 @@ func (d *Dense) BackwardView(pv paramvec.View, lo int, grad, in, _, dOut, dIn []
 	}
 }
 
+// denseBatchScratch holds the staging buffers of the batched Dense kernels.
+// Only the segment-split view path uses them (column-block staging for the
+// per-run GEMMs, one stitched weight row, the gathered bias); the flat path
+// runs straight GEMMs with no temporaries.
+type denseBatchScratch struct {
+	tmp  []float64 // batch × Out column-block staging
+	row  []float64 // one boundary-straddling weight row, stitched
+	bias []float64 // gathered bias block
+}
+
+func (d *Dense) NewBatchScratch(batch int) any {
+	return &denseBatchScratch{
+		tmp:  make([]float64, batch*d.Out),
+		row:  make([]float64, d.In),
+		bias: make([]float64, d.Out),
+	}
+}
+
+// ForwardBatch computes out = in·Wᵀ + b over the whole minibatch: one
+// blocked GEMM (both operand streams row-contiguous, no transposed weight
+// copy) plus the fused bias row kernel.
+func (d *Dense) ForwardBatch(params []float64, in, out tensor.Mat, _ any) {
+	tensor.MatMulABT(out, in, d.weights(params))
+	tensor.AddBiasRows(out, d.biases(params))
+}
+
+// BackwardBatch accumulates dW += dOutᵀ·in and db += column sums of dOut,
+// and computes dIn = dOut·W — each one GEMM over the batch.
+func (d *Dense) BackwardBatch(params, grad []float64, in, _, dOut, dIn tensor.Mat, _ any) {
+	tensor.MatMulATBAdd(d.weights(grad), dOut, in)
+	tensor.ColSumsAdd(d.biases(grad), dOut)
+	if dIn.Data != nil {
+		tensor.MatMul(dIn, dOut, d.weights(params))
+	}
+}
+
+// weightRuns iterates the weight block [lo, lo+Out*In) of a segmented view
+// as maximal GEMM-able pieces: runs of complete W rows inside one segment
+// yield zero-copy sub-matrices, and the at most S−1 rows straddling a
+// segment boundary are stitched into the scratch row buffer one at a time.
+// yield receives the first output row o of the piece and the piece as an
+// nRows×In matrix.
+func (d *Dense) weightRuns(pv paramvec.View, lo int, s *denseBatchScratch, yield func(o int, w tensor.Mat)) {
+	wEnd := lo + d.Out*d.In
+	o := 0
+	for o < d.Out {
+		rowLo := lo + o*d.In
+		piece := pv.Tail(rowLo, wEnd)
+		nRows := len(piece) / d.In
+		var w tensor.Mat
+		if nRows == 0 {
+			// The row straddles the segment boundary: stitch it.
+			w = tensor.MatFrom(1, d.In, pv.Gather(rowLo, rowLo+d.In, s.row))
+			nRows = 1
+		} else {
+			w = tensor.MatFrom(nRows, d.In, piece[:nRows*d.In])
+		}
+		yield(o, w)
+		o += nRows
+	}
+}
+
+// ForwardBatchView is the segment-aware batched forward pass: the
+// out = in·Wᵀ GEMM is split at segment boundaries — every run of complete
+// weight rows inside one segment is one MatMulABT into the column-block
+// staging buffer, scattered into its output columns.
+func (d *Dense) ForwardBatchView(pv paramvec.View, lo int, in, out tensor.Mat, scratch any) {
+	s := scratch.(*denseBatchScratch)
+	B := in.Rows
+	d.weightRuns(pv, lo, s, func(o int, w tensor.Mat) {
+		tmp := tensor.MatFrom(B, w.Rows, s.tmp[:B*w.Rows])
+		tensor.MatMulABT(tmp, in, w)
+		for b := 0; b < B; b++ {
+			copy(out.Row(b)[o:o+w.Rows], tmp.Row(b))
+		}
+	})
+	wEnd := lo + d.Out*d.In
+	tensor.AddBiasRows(out, pv.Gather(wEnd, wEnd+d.Out, s.bias))
+}
+
+// BackwardBatchView accumulates dW += dOutᵀ·in, db += column sums (into the
+// flat private grad — never segmented) and computes dIn = dOut·W with the
+// GEMM split at segment boundaries, each run contributing one MatMulAdd.
+func (d *Dense) BackwardBatchView(pv paramvec.View, lo int, grad []float64, in, _, dOut, dIn tensor.Mat, scratch any) {
+	tensor.MatMulATBAdd(d.weights(grad), dOut, in)
+	tensor.ColSumsAdd(d.biases(grad), dOut)
+	if dIn.Data == nil {
+		return
+	}
+	s := scratch.(*denseBatchScratch)
+	dIn.Zero()
+	B := dOut.Rows
+	d.weightRuns(pv, lo, s, func(o int, w tensor.Mat) {
+		tmp := tensor.MatFrom(B, w.Rows, s.tmp[:B*w.Rows])
+		for b := 0; b < B; b++ {
+			copy(tmp.Row(b), dOut.Row(b)[o:o+w.Rows])
+		}
+		tensor.MatMulAdd(dIn, tmp, w)
+	})
+}
+
 // ReLU applies max(0, x) element-wise. It owns no parameters.
 type ReLU struct {
 	Dim int
@@ -176,25 +278,50 @@ func (r *ReLU) ParamCount() int { return 0 }
 func (r *ReLU) NewScratch() any { return nil }
 func (r *ReLU) Name() string    { return fmt.Sprintf("ReLU(%d)", r.Dim) }
 
-func (r *ReLU) Forward(_, in, out []float64, _ any) {
+// reluForward and reluBackward are branchless: activation signs are close
+// to random, so a compare-and-branch per element pays a misprediction tax
+// on half the data. The sign-extended mask keeps exactly the positive
+// values (a negative float has its top bit set; ±0 maps to 0 either way).
+func reluForward(in, out []float64) {
+	out = out[:len(in)]
 	for i, v := range in {
-		if v > 0 {
-			out[i] = v
-		} else {
-			out[i] = 0
-		}
+		b := math.Float64bits(v)
+		out[i] = math.Float64frombits(b &^ uint64(int64(b)>>63))
 	}
 }
+
+func reluBackward(in, dOut, dIn []float64) {
+	dOut = dOut[:len(in)]
+	dIn = dIn[:len(in)]
+	for i, v := range in {
+		b := math.Float64bits(v)
+		// pass ⟺ v > 0: sign bit clear AND nonzero.
+		pass := ^uint64(int64(b)>>63) & uint64(int64(b|(^b+1))>>63)
+		dIn[i] = math.Float64frombits(math.Float64bits(dOut[i]) & pass)
+	}
+}
+
+func (r *ReLU) Forward(_, in, out []float64, _ any) { reluForward(in, out) }
 
 func (r *ReLU) Backward(_, _, in, _, dOut, dIn []float64, _ any) {
 	if dIn == nil {
 		return
 	}
-	for i, v := range in {
-		if v > 0 {
-			dIn[i] = dOut[i]
-		} else {
-			dIn[i] = 0
-		}
+	reluBackward(in, dOut, dIn)
+}
+
+// The batched activation kernels run one pass over the contiguous batch×dim
+// backing — the whole minibatch in a single loop.
+
+func (r *ReLU) NewBatchScratch(int) any { return nil }
+
+func (r *ReLU) ForwardBatch(_ []float64, in, out tensor.Mat, _ any) {
+	reluForward(in.Data, out.Data)
+}
+
+func (r *ReLU) BackwardBatch(_, _ []float64, in, _, dOut, dIn tensor.Mat, _ any) {
+	if dIn.Data == nil {
+		return
 	}
+	reluBackward(in.Data, dOut.Data, dIn.Data)
 }

@@ -20,6 +20,10 @@ type Network struct {
 	d       int   // total parameter count
 	inDim   int
 	outDim  int
+	// blayers caches every layer's batched kernel interface; non-nil only
+	// when ALL layers implement batchLayer, in which case BatchLossGrad
+	// routes through the GEMM chain in batch.go.
+	blayers []batchLayer
 }
 
 // NewNetwork validates that consecutive layers' dimensions chain and returns
@@ -39,6 +43,15 @@ func NewNetwork(layers ...Layer) (*Network, error) {
 	}
 	n.inDim = layers[0].InDim()
 	n.outDim = layers[len(layers)-1].OutDim()
+	n.blayers = make([]batchLayer, len(layers))
+	for i, l := range layers {
+		bl, ok := l.(batchLayer)
+		if !ok {
+			n.blayers = nil
+			break
+		}
+		n.blayers[i] = bl
+	}
 	return n, nil
 }
 
@@ -110,6 +123,9 @@ type Workspace struct {
 	// segmented-view hot path allocation-free; flat-view runs never pay
 	// for it.
 	stitch [][]float64
+	// batch holds the batch-shaped buffers of the GEMM gradient path,
+	// sized lazily to the largest batch seen (see batch.go).
+	batch batchBuffers
 }
 
 // NewWorkspace allocates a workspace for this network.
@@ -276,14 +292,35 @@ func (n *Network) LossGrad(params, grad []float64, xs [][]float64, ys []int, ws 
 	return totalLoss * invB
 }
 
-// BatchLossGrad is the gradient entry point of the SGD hot path: LossGrad
-// over dataset rows selected by batch indices, reading the parameters
-// through a View. The view may be flat (paramvec.FlatView over a private
-// copy — the lock-based and HOGWILD! read protocols) or segmented (a leased
-// zero-copy read of the published shard buffers — paramvec.Lease.Acquire),
-// in which case segment-aware kernels and pre-sized stitch buffers keep the
-// pass allocation-free (BenchmarkGradientReadAllocs).
+// BatchLossGrad is the gradient entry point of the SGD hot path: mean loss
+// and gradient over dataset rows selected by batch indices, reading the
+// parameters through a View. The view may be flat (paramvec.FlatView over a
+// private copy — the lock-based and HOGWILD! read protocols) or segmented
+// (a leased zero-copy read of the published shard buffers —
+// paramvec.Lease.Acquire), in which case segment-aware kernels and
+// pre-sized stitch buffers keep the pass allocation-free
+// (BenchmarkGradientReadAllocs).
+//
+// When every layer provides batched kernels (all built-in layers do), the
+// pass runs as one blocked GEMM chain per direction over the batch×dim
+// activation matrices — the arithmetic-bound Tc path (batch.go). Networks
+// containing a layer without batched kernels fall back to the per-example
+// reference pass.
 func (n *Network) BatchLossGrad(pv paramvec.View, grad []float64, ds *data.Dataset, batch data.Batch, ws *Workspace) float64 {
+	if n.blayers != nil && len(batch.Indices) > 0 {
+		return n.batchLossGradGEMM(pv, grad, ds, batch, ws)
+	}
+	return n.BatchLossGradPerExample(pv, grad, ds, batch, ws)
+}
+
+// BatchLossGradPerExample is the per-example reference implementation of
+// BatchLossGrad: one forward/backward pass per minibatch row. It computes
+// the same mean loss and gradient as the batched GEMM chain (only the
+// floating-point summation order differs — the golden-equivalence tests pin
+// the two paths together) and remains the fallback for layer types without
+// batched kernels, as well as the baseline the batched-compute speedup is
+// measured against.
+func (n *Network) BatchLossGradPerExample(pv paramvec.View, grad []float64, ds *data.Dataset, batch data.Batch, ws *Workspace) float64 {
 	invB := 1 / float64(len(batch.Indices))
 	var totalLoss float64
 	for _, idx := range batch.Indices {

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Machine-readable perf trajectory: ParseBench turns `go test -bench` text
+// output into structured records and WriteBenchJSON serializes them, so the
+// CI bench-smoke job can publish a BENCH_<n>.json artifact per PR and
+// regressions are diffable across commits instead of buried in job logs.
+
+// BenchResult is one benchmark line: the name, iteration count, and every
+// reported metric keyed by its unit (ns/op, B/op, allocs/op, plus any
+// custom b.ReportMetric units like failedCAS/publish).
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// BenchReport is the serialized artifact: host context lines from the bench
+// header (goos/goarch/pkg/cpu) plus the benchmark records.
+type BenchReport struct {
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []BenchResult     `json:"benchmarks"`
+}
+
+// ParseBench reads `go test -bench` output and returns the structured
+// report. Lines that are not benchmark results or header context (test
+// chatter, table renders, PASS/ok) are ignored.
+func ParseBench(r io.Reader) (*BenchReport, error) {
+	rep := &BenchReport{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+":"); ok {
+				rep.Context[key] = strings.TrimSpace(v)
+			}
+		}
+		// A multi-package run emits one pkg header per package; tag each
+		// record with the package it came from so names never collide.
+		if v, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(v)
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Minimum shape: name, iterations, value, unit.
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		res := BenchResult{
+			Name:       trimCPUSuffix(fields[0]),
+			Pkg:        pkg,
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		// The remainder alternates value/unit pairs.
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		if ok && len(res.Metrics) > 0 {
+			rep.Benchmarks = append(rep.Benchmarks, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("report: reading bench output: %w", err)
+	}
+	return rep, nil
+}
+
+// trimCPUSuffix drops the -<GOMAXPROCS> suffix go test appends to benchmark
+// names, so records compare across hosts with different core counts.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// WriteBenchJSON serializes the report as indented JSON.
+func (rep *BenchReport) WriteBenchJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: leashedsgd
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+== some table the harness rendered ==
+BenchmarkMLPGradBatch32-8         	    2458	    996481 ns/op	     293 B/op	       0 allocs/op
+BenchmarkShardSweepContention/workers=8/shards=4-8 	       1	   1234567 ns/op	         0.0425 failedCAS/publish
+BenchmarkBogusLine with no numbers
+PASS
+ok  	leashedsgd	10.990s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := ParseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Context["goos"] != "linux" || rep.Context["cpu"] == "" {
+		t.Fatalf("context = %v", rep.Context)
+	}
+	if rep.Benchmarks[0].Pkg != "leashedsgd" {
+		t.Fatalf("pkg tag = %q", rep.Benchmarks[0].Pkg)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkMLPGradBatch32" {
+		t.Fatalf("name = %q (cpu suffix not trimmed?)", b0.Name)
+	}
+	if b0.Iterations != 2458 || b0.Metrics["ns/op"] != 996481 || b0.Metrics["allocs/op"] != 0 {
+		t.Fatalf("record = %+v", b0)
+	}
+	b1 := rep.Benchmarks[1]
+	if b1.Name != "BenchmarkShardSweepContention/workers=8/shards=4" {
+		t.Fatalf("subbenchmark name = %q", b1.Name)
+	}
+	if b1.Metrics["failedCAS/publish"] != 0.0425 {
+		t.Fatalf("custom metric = %v", b1.Metrics)
+	}
+}
+
+func TestWriteBenchJSONRoundTrip(t *testing.T) {
+	rep, err := ParseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := rep.WriteBenchJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(back.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d != %d", len(back.Benchmarks), len(rep.Benchmarks))
+	}
+	if back.Benchmarks[0].Metrics["ns/op"] != rep.Benchmarks[0].Metrics["ns/op"] {
+		t.Fatal("round trip changed metrics")
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	rep, err := ParseBench(strings.NewReader("PASS\nok x 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("parsed phantom benchmarks: %+v", rep.Benchmarks)
+	}
+}

@@ -1,0 +1,300 @@
+//go:build amd64
+
+package tensor
+
+// AVX2+FMA drivers for the three GEMM orientations. The microkernels in
+// gemm_fma_amd64.s own a full destination tile (2×8 for the broadcast
+// orientations, 2×4 for the dot orientation) across the whole reduction
+// block; the drivers keep the same cache blocking as the portable kernels
+// and fall back to the scalar paths for remainder rows/columns, so results
+// differ from the portable kernels only in floating-point summation order.
+
+// fmaGEMMEnabled reports whether init selected the FMA drivers; exposed for
+// tests so the asm-vs-portable equivalence suite knows it actually ran the
+// assembly.
+var fmaGEMMEnabled = false
+
+func init() {
+	if cpuSupportsAVX2FMA() {
+		fmaGEMMEnabled = true
+		matMulAddImpl = matMulAddFMA
+		matMulABTImpl = matMulABTFMA
+		matMulATBImpl = matMulATBFMA
+		axpyImpl = axpyFMA
+	}
+}
+
+// cpuSupportsAVX2FMA reports FMA+AVX2 with OS-enabled YMM state (CPUID).
+func cpuSupportsAVX2FMA() bool
+
+// fmaBcast2x8 computes c = Σ_{q<k} [a0_q; a1_q] ⊗ b_q[0:8] with the a
+// scalars read at byte stride sa and the 8-wide b rows at byte stride sb.
+//
+//go:noescape
+func fmaBcast2x8(pa0, pa1 *float64, sa uintptr, pb *float64, sb uintptr, k int, c *[16]float64)
+
+// fmaDot2x4 computes the lane partials of eight simultaneous dot products
+// (2 a rows × 4 b rows, all contiguous) over k4 elements (k4 % 4 == 0):
+// c[8g:8g+4] holds tile element g's four lane sums.
+//
+//go:noescape
+func fmaDot2x4(pa0, pa1, pb0, pb1, pb2, pb3 *float64, k4 int, c *[32]float64)
+
+// fmaAxpy computes y[0:n] += alpha·x[0:n] for n a multiple of 8.
+//
+//go:noescape
+func fmaAxpy(alpha float64, px, py *float64, n int)
+
+// axpyFMA runs the 8-wide FMA kernel over the bulk of the vector and
+// finishes the tail in Go. Element order matches axpyGo, but the fused
+// multiply-add rounds once where the portable kernel rounds the multiply
+// and the add separately — results can differ in the last ulp across
+// hosts, like the GEMM drivers.
+func axpyFMA(alpha float64, x, y []float64) {
+	n8 := len(x) &^ 7
+	if n8 > 0 {
+		fmaAxpy(alpha, &x[0], &y[0], n8)
+	}
+	for i := n8; i < len(x); i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// matMulAddFMA is dst =(+)= a·b with 2×8 FMA tiles.
+func matMulAddFMA(dst, a, b Mat, accumulate bool) {
+	m, k, n := a.Rows, a.Cols, b.Cols
+	var c [16]float64
+	for k0 := 0; k0 < k; k0 += gemmBlockK {
+		k1 := k0 + gemmBlockK
+		if k1 > k {
+			k1 = k
+		}
+		first := k0 == 0 && !accumulate
+		kb := k1 - k0
+		i := 0
+		for ; i+2 <= m; i += 2 {
+			a0 := a.Row(i)[k0:k1]
+			a1 := a.Row(i + 1)[k0:k1]
+			a1 = a1[:len(a0)]
+			d0, d1 := dst.Row(i), dst.Row(i+1)
+			j := 0
+			for ; j+8 <= n; j += 8 {
+				fmaBcast2x8(&a0[0], &a1[0], 8, &b.Data[k0*n+j], uintptr(n)*8, kb, &c)
+				if first {
+					copy(d0[j:j+8], c[0:8])
+					copy(d1[j:j+8], c[8:16])
+				} else {
+					for t := 0; t < 8; t++ {
+						d0[j+t] += c[t]
+						d1[j+t] += c[8+t]
+					}
+				}
+			}
+			// Scalar remainder columns.
+			for ; j < n; j++ {
+				var c0, c1 float64
+				off := k0*n + j
+				for p, av0 := range a0 {
+					bv := b.Data[off]
+					off += n
+					c0 += av0 * bv
+					c1 += a1[p] * bv
+				}
+				if first {
+					d0[j], d1[j] = c0, c1
+				} else {
+					d0[j] += c0
+					d1[j] += c1
+				}
+			}
+		}
+		if i < m {
+			// Odd last row: scalar.
+			a0 := a.Row(i)[k0:k1]
+			d0 := dst.Row(i)
+			for j := 0; j < n; j++ {
+				var s float64
+				off := k0*n + j
+				for _, av := range a0 {
+					s += av * b.Data[off]
+					off += n
+				}
+				if first {
+					d0[j] = s
+				} else {
+					d0[j] += s
+				}
+			}
+		}
+	}
+}
+
+// matMulABTFMA is dst =(+)= a·bᵀ with 2×4 FMA dot tiles.
+func matMulABTFMA(dst, a, b Mat, accumulate bool) {
+	m, k, n := a.Rows, a.Cols, b.Rows
+	var c [32]float64
+	for k0 := 0; k0 < k; k0 += gemmBlockK {
+		k1 := k0 + gemmBlockK
+		if k1 > k {
+			k1 = k
+		}
+		first := k0 == 0 && !accumulate
+		kb := k1 - k0
+		k4 := kb &^ 3
+		i := 0
+		for ; i+2 <= m; i += 2 {
+			a0 := a.Row(i)[k0:k1]
+			a1 := a.Row(i + 1)[k0:k1]
+			a1 = a1[:len(a0)]
+			d0, d1 := dst.Row(i), dst.Row(i+1)
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				b0 := b.Row(j)[k0:k1]
+				b0 = b0[:len(a0)]
+				b1 := b.Row(j + 1)[k0:k1]
+				b1 = b1[:len(a0)]
+				b2 := b.Row(j + 2)[k0:k1]
+				b2 = b2[:len(a0)]
+				b3 := b.Row(j + 3)[k0:k1]
+				b3 = b3[:len(a0)]
+				var s00, s01, s02, s03, s10, s11, s12, s13 float64
+				if k4 > 0 {
+					fmaDot2x4(&a0[0], &a1[0], &b0[0], &b1[0], &b2[0], &b3[0], k4, &c)
+					s00 = c[0] + c[1] + c[2] + c[3]
+					s01 = c[4] + c[5] + c[6] + c[7]
+					s02 = c[8] + c[9] + c[10] + c[11]
+					s03 = c[12] + c[13] + c[14] + c[15]
+					s10 = c[16] + c[17] + c[18] + c[19]
+					s11 = c[20] + c[21] + c[22] + c[23]
+					s12 = c[24] + c[25] + c[26] + c[27]
+					s13 = c[28] + c[29] + c[30] + c[31]
+				}
+				for p := k4; p < kb; p++ {
+					av0, av1 := a0[p], a1[p]
+					bv0, bv1, bv2, bv3 := b0[p], b1[p], b2[p], b3[p]
+					s00 += av0 * bv0
+					s01 += av0 * bv1
+					s02 += av0 * bv2
+					s03 += av0 * bv3
+					s10 += av1 * bv0
+					s11 += av1 * bv1
+					s12 += av1 * bv2
+					s13 += av1 * bv3
+				}
+				if first {
+					d0[j], d0[j+1], d0[j+2], d0[j+3] = s00, s01, s02, s03
+					d1[j], d1[j+1], d1[j+2], d1[j+3] = s10, s11, s12, s13
+				} else {
+					d0[j] += s00
+					d0[j+1] += s01
+					d0[j+2] += s02
+					d0[j+3] += s03
+					d1[j] += s10
+					d1[j+1] += s11
+					d1[j+2] += s12
+					d1[j+3] += s13
+				}
+			}
+			for ; j < n; j++ {
+				bRow := b.Row(j)[k0:k1]
+				bRow = bRow[:len(a0)]
+				var c0, c1 float64
+				for p, av0 := range a0 {
+					bv := bRow[p]
+					c0 += av0 * bv
+					c1 += a1[p] * bv
+				}
+				if first {
+					d0[j], d1[j] = c0, c1
+				} else {
+					d0[j] += c0
+					d1[j] += c1
+				}
+			}
+		}
+		if i < m {
+			a0 := a.Row(i)[k0:k1]
+			d0 := dst.Row(i)
+			for j := 0; j < n; j++ {
+				bRow := b.Row(j)[k0:k1]
+				bRow = bRow[:len(a0)]
+				var s float64
+				for p, av := range a0 {
+					s += av * bRow[p]
+				}
+				if first {
+					d0[j] = s
+				} else {
+					d0[j] += s
+				}
+			}
+		}
+	}
+}
+
+// matMulATBFMA is dst =(+)= aᵀ·b with 2×8 FMA tiles; the two broadcast
+// streams are adjacent a columns walked at the row stride.
+func matMulATBFMA(dst, a, b Mat, accumulate bool) {
+	p, m, n := a.Rows, a.Cols, b.Cols
+	var c [16]float64
+	for p0 := 0; p0 < p; p0 += gemmBlockK {
+		p1 := p0 + gemmBlockK
+		if p1 > p {
+			p1 = p
+		}
+		first := p0 == 0 && !accumulate
+		pb := p1 - p0
+		i := 0
+		for ; i+2 <= m; i += 2 {
+			d0, d1 := dst.Row(i), dst.Row(i+1)
+			j := 0
+			for ; j+8 <= n; j += 8 {
+				fmaBcast2x8(&a.Data[p0*m+i], &a.Data[p0*m+i+1], uintptr(m)*8,
+					&b.Data[p0*n+j], uintptr(n)*8, pb, &c)
+				if first {
+					copy(d0[j:j+8], c[0:8])
+					copy(d1[j:j+8], c[8:16])
+				} else {
+					for t := 0; t < 8; t++ {
+						d0[j+t] += c[t]
+						d1[j+t] += c[8+t]
+					}
+				}
+			}
+			for ; j < n; j++ {
+				var c0, c1 float64
+				aOff, bOff := p0*m+i, p0*n+j
+				for q := p0; q < p1; q++ {
+					bv := b.Data[bOff]
+					c0 += a.Data[aOff] * bv
+					c1 += a.Data[aOff+1] * bv
+					aOff += m
+					bOff += n
+				}
+				if first {
+					d0[j], d1[j] = c0, c1
+				} else {
+					d0[j] += c0
+					d1[j] += c1
+				}
+			}
+		}
+		if i < m {
+			d0 := dst.Row(i)
+			for j := 0; j < n; j++ {
+				var s float64
+				aOff, bOff := p0*m+i, p0*n+j
+				for q := p0; q < p1; q++ {
+					s += a.Data[aOff] * b.Data[bOff]
+					aOff += m
+					bOff += n
+				}
+				if first {
+					d0[j] = s
+				} else {
+					d0[j] += s
+				}
+			}
+		}
+	}
+}

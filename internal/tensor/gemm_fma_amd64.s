@@ -1,0 +1,219 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2+FMA microkernels for the blocked GEMM drivers (gemm_fma_amd64.go).
+// Both kernels keep the destination tile's partial sums in YMM registers
+// for the whole reduction range and write them to the caller's stack buffer
+// at the end; the Go drivers fold the partials into dst. Neither kernel
+// touches memory outside its operands and the result buffer.
+
+// func cpuSupportsAVX2FMA() bool
+//
+// CPUID.1:ECX must report FMA(12), OSXSAVE(27) and AVX(28); XCR0 must have
+// the SSE and AVX state bits (OS saves YMM on context switch); and
+// CPUID.7.0:EBX must report AVX2(5).
+TEXT ·cpuSupportsAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	MOVL $0, CX
+	CPUID
+	MOVL CX, R9
+	ANDL $0x18001000, R9 // FMA | OSXSAVE | AVX
+	CMPL R9, $0x18001000
+	JNE  no
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX          // XCR0: XMM(1) | YMM(2) state enabled
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	ANDL $0x20, BX       // AVX2
+	CMPL BX, $0x20
+	JNE  no
+	MOVB $1, ret+0(FP)
+	RET
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func fmaBcast2x8(pa0, pa1 *float64, sa uintptr, pb *float64, sb uintptr, k int, c *[16]float64)
+//
+// c = Σ_{q<k} [*(pa0+q·sa); *(pa1+q·sa)] ⊗ (pb+q·sb)[0:8] — a 2×8
+// destination tile reduced over k with broadcast A operands and contiguous
+// 8-wide B rows (strides in bytes). This is the inner tile of both A·B
+// (sa = 8: the two a rows are contiguous) and Aᵀ·B (sa = row stride: the
+// two a "rows" are adjacent columns). The k loop is unrolled ×2 onto a
+// second accumulator set so eight independent FMA chains hide the FMA
+// latency; the sets are combined before the store.
+TEXT ·fmaBcast2x8(SB), NOSPLIT, $0-56
+	MOVQ pa0+0(FP), AX
+	MOVQ pa1+8(FP), BX
+	MOVQ sa+16(FP), CX
+	MOVQ pb+24(FP), DX
+	MOVQ sb+32(FP), SI
+	MOVQ k+40(FP), DI
+	MOVQ c+48(FP), R8
+
+	// Second-stream pointers (q+1) and doubled strides for the ×2 unroll.
+	LEAQ (AX)(CX*1), R9
+	LEAQ (BX)(CX*1), R10
+	LEAQ (DX)(SI*1), R11
+	LEAQ (CX)(CX*1), R12
+	LEAQ (SI)(SI*1), R13
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	CMPQ DI, $2
+	JL   tail
+
+loop2:
+	VBROADCASTSD (AX), Y8
+	VBROADCASTSD (BX), Y9
+	VMOVUPD      (DX), Y10
+	VMOVUPD      32(DX), Y11
+	VFMADD231PD  Y10, Y8, Y0
+	VFMADD231PD  Y11, Y8, Y1
+	VFMADD231PD  Y10, Y9, Y2
+	VFMADD231PD  Y11, Y9, Y3
+	VBROADCASTSD (R9), Y12
+	VBROADCASTSD (R10), Y13
+	VMOVUPD      (R11), Y14
+	VMOVUPD      32(R11), Y15
+	VFMADD231PD  Y14, Y12, Y4
+	VFMADD231PD  Y15, Y12, Y5
+	VFMADD231PD  Y14, Y13, Y6
+	VFMADD231PD  Y15, Y13, Y7
+	ADDQ R12, AX
+	ADDQ R12, BX
+	ADDQ R13, DX
+	ADDQ R12, R9
+	ADDQ R12, R10
+	ADDQ R13, R11
+	SUBQ $2, DI
+	CMPQ DI, $2
+	JGE  loop2
+
+tail:
+	TESTQ DI, DI
+	JZ    reduce
+	VBROADCASTSD (AX), Y8
+	VBROADCASTSD (BX), Y9
+	VMOVUPD      (DX), Y10
+	VMOVUPD      32(DX), Y11
+	VFMADD231PD  Y10, Y8, Y0
+	VFMADD231PD  Y11, Y8, Y1
+	VFMADD231PD  Y10, Y9, Y2
+	VFMADD231PD  Y11, Y9, Y3
+
+reduce:
+	VADDPD  Y4, Y0, Y0
+	VADDPD  Y5, Y1, Y1
+	VADDPD  Y6, Y2, Y2
+	VADDPD  Y7, Y3, Y3
+	VMOVUPD Y0, (R8)
+	VMOVUPD Y1, 32(R8)
+	VMOVUPD Y2, 64(R8)
+	VMOVUPD Y3, 96(R8)
+	VZEROUPPER
+	RET
+
+// func fmaDot2x4(pa0, pa1, pb0, pb1, pb2, pb3 *float64, k4 int, c *[32]float64)
+//
+// Eight simultaneous 4-wide dot products: c[8·g:8·g+4]... holds the four
+// lane partials of tile element g, where the 2×4 tile pairs a rows
+// {pa0, pa1} with b rows {pb0..pb3}, all contiguous. k4 must be a multiple
+// of 4 (the Go driver handles the scalar tail); each iteration consumes 4
+// float64s from all six streams feeding 8 independent FMA chains.
+TEXT ·fmaDot2x4(SB), NOSPLIT, $0-64
+	MOVQ pa0+0(FP), AX
+	MOVQ pa1+8(FP), BX
+	MOVQ pb0+16(FP), CX
+	MOVQ pb1+24(FP), DX
+	MOVQ pb2+32(FP), SI
+	MOVQ pb3+40(FP), DI
+	MOVQ k4+48(FP), R9
+	MOVQ c+56(FP), R8
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	TESTQ R9, R9
+	JZ    store
+
+loop4:
+	VMOVUPD     (AX), Y8
+	VMOVUPD     (BX), Y9
+	VMOVUPD     (CX), Y10
+	VMOVUPD     (DX), Y11
+	VMOVUPD     (SI), Y12
+	VMOVUPD     (DI), Y13
+	VFMADD231PD Y10, Y8, Y0
+	VFMADD231PD Y11, Y8, Y1
+	VFMADD231PD Y12, Y8, Y2
+	VFMADD231PD Y13, Y8, Y3
+	VFMADD231PD Y10, Y9, Y4
+	VFMADD231PD Y11, Y9, Y5
+	VFMADD231PD Y12, Y9, Y6
+	VFMADD231PD Y13, Y9, Y7
+	ADDQ $32, AX
+	ADDQ $32, BX
+	ADDQ $32, CX
+	ADDQ $32, DX
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $4, R9
+	JNZ  loop4
+
+store:
+	VMOVUPD Y0, (R8)
+	VMOVUPD Y1, 32(R8)
+	VMOVUPD Y2, 64(R8)
+	VMOVUPD Y3, 96(R8)
+	VMOVUPD Y4, 128(R8)
+	VMOVUPD Y5, 160(R8)
+	VMOVUPD Y6, 192(R8)
+	VMOVUPD Y7, 224(R8)
+	VZEROUPPER
+	RET
+
+// func fmaAxpy(alpha float64, px, py *float64, n int)
+//
+// y[0:n] += alpha·x[0:n], n a multiple of 8 (the Go wrapper finishes the
+// tail). Two 4-wide FMA streams per iteration.
+TEXT ·fmaAxpy(SB), NOSPLIT, $0-32
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ px+8(FP), AX
+	MOVQ py+16(FP), BX
+	MOVQ n+24(FP), CX
+
+loop8:
+	VMOVUPD     (AX), Y1
+	VMOVUPD     32(AX), Y2
+	VMOVUPD     (BX), Y3
+	VMOVUPD     32(BX), Y4
+	VFMADD231PD Y1, Y0, Y3
+	VFMADD231PD Y2, Y0, Y4
+	VMOVUPD     Y3, (BX)
+	VMOVUPD     Y4, 32(BX)
+	ADDQ $64, AX
+	ADDQ $64, BX
+	SUBQ $8, CX
+	JNZ  loop8
+
+	VZEROUPPER
+	RET

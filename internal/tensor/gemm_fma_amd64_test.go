@@ -1,0 +1,70 @@
+//go:build amd64
+
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"leashedsgd/internal/rng"
+)
+
+// TestFMAKernelsMatchPortable pins the assembly drivers to the portable
+// kernels element-by-element across shapes that hit every tile/remainder
+// combination (odd rows, sub-tile columns, reduction tails, multi-block
+// reductions). Skipped on hosts without AVX2+FMA, where the drivers are
+// never selected.
+func TestFMAKernelsMatchPortable(t *testing.T) {
+	if !fmaGEMMEnabled {
+		t.Skip("AVX2+FMA not available; portable kernels are the only path")
+	}
+	r := rng.New(21)
+	shapes := [][3]int{
+		{1, 1, 1}, {2, 4, 8}, {2, 5, 9}, {3, 7, 10}, {5, 3, 17},
+		{8, 16, 24}, {7, 13, 15}, {2, gemmBlockK + 5, 11},
+		{4, 2*gemmBlockK + 2, 9}, {32, 784, 128}, {32, 33, 6},
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		t.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(t *testing.T) {
+			a := randMat(r, m, k)
+			b := randMat(r, k, n)
+			bT := randMat(r, n, k)
+			aT := randMat(r, k, m)
+			seed := randMat(r, m, n)
+
+			gotAdd, wantAdd := NewMat(m, n), NewMat(m, n)
+			copy(gotAdd.Data, seed.Data)
+			copy(wantAdd.Data, seed.Data)
+			matMulAddFMA(gotAdd, a, b, true)
+			matMulAddGo(wantAdd, a, b, true)
+			matsAlmostEq(t, "matMulAddFMA/acc", gotAdd, wantAdd, 1e-10)
+
+			matMulAddFMA(gotAdd, a, b, false)
+			matMulAddGo(wantAdd, a, b, false)
+			matsAlmostEq(t, "matMulAddFMA", gotAdd, wantAdd, 1e-10)
+
+			gotABT, wantABT := NewMat(m, n), NewMat(m, n)
+			matMulABTFMA(gotABT, a, bT, false)
+			matMulABTGo(wantABT, a, bT, false)
+			matsAlmostEq(t, "matMulABTFMA", gotABT, wantABT, 1e-10)
+
+			copy(gotABT.Data, seed.Data)
+			copy(wantABT.Data, seed.Data)
+			matMulABTFMA(gotABT, a, bT, true)
+			matMulABTGo(wantABT, a, bT, true)
+			matsAlmostEq(t, "matMulABTFMA/acc", gotABT, wantABT, 1e-10)
+
+			gotATB, wantATB := NewMat(m, n), NewMat(m, n)
+			copy(gotATB.Data, seed.Data)
+			copy(wantATB.Data, seed.Data)
+			matMulATBFMA(gotATB, aT, b, true)
+			matMulATBGo(wantATB, aT, b, true)
+			matsAlmostEq(t, "matMulATBFMA/acc", gotATB, wantATB, 1e-10)
+
+			matMulATBFMA(gotATB, aT, b, false)
+			matMulATBGo(wantATB, aT, b, false)
+			matsAlmostEq(t, "matMulATBFMA", gotATB, wantATB, 1e-10)
+		})
+	}
+}

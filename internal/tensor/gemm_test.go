@@ -1,0 +1,251 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+
+	"leashedsgd/internal/rng"
+)
+
+// refMatMul is the naive triple loop every blocked kernel is checked against.
+func refMatMul(dst, a, b Mat, transA, transB bool, accumulate bool) {
+	if !accumulate {
+		dst.Zero()
+	}
+	at := func(m Mat, i, j int, t bool) float64 {
+		if t {
+			return m.At(j, i)
+		}
+		return m.At(i, j)
+	}
+	k := a.Cols
+	if transA {
+		k = a.Rows
+	}
+	for i := 0; i < dst.Rows; i++ {
+		for j := 0; j < dst.Cols; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += at(a, i, p, transA) * at(b, p, j, transB)
+			}
+			dst.Data[i*dst.Cols+j] += s
+		}
+	}
+}
+
+func randMat(r *rng.Rand, rows, cols int) Mat {
+	m := NewMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+func matsAlmostEq(t *testing.T, name string, got, want Mat, tol float64) {
+	t.Helper()
+	for i := range got.Data {
+		if !almostEq(got.Data[i], want.Data[i], tol) {
+			t.Fatalf("%s: element %d = %v, want %v", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestGEMMVariantsMatchReference sweeps shapes that exercise every remainder
+// path of the 4×4 register tiles (edges not divisible by the tile) and the
+// k-block loop (k > gemmBlockK), for all three orientations plus the
+// accumulate forms.
+func TestGEMMVariantsMatchReference(t *testing.T) {
+	r := rng.New(11)
+	shapes := [][3]int{
+		{1, 1, 1}, {2, 3, 4}, {4, 4, 4}, {5, 7, 3}, {8, 8, 8},
+		{3, 6, 9}, {7, 5, 11}, {13, 17, 6}, {4, gemmBlockK + 3, 5},
+		{6, 2*gemmBlockK + 1, 7}, {32, 33, 10},
+	}
+	for _, sh := range shapes {
+		m, k, n := sh[0], sh[1], sh[2]
+		t.Run(fmt.Sprintf("%dx%dx%d", m, k, n), func(t *testing.T) {
+			a := randMat(r, m, k)
+			b := randMat(r, k, n)
+			bT := randMat(r, n, k)
+			aT := randMat(r, k, m)
+
+			got, want := NewMat(m, n), NewMat(m, n)
+			MatMul(got, a, b)
+			refMatMul(want, a, b, false, false, false)
+			matsAlmostEq(t, "MatMul", got, want, 1e-10)
+
+			// MatMulAdd accumulates on top of existing contents.
+			seed := randMat(r, m, n)
+			copy(got.Data, seed.Data)
+			copy(want.Data, seed.Data)
+			MatMulAdd(got, a, b)
+			refMatMul(want, a, b, false, false, true)
+			matsAlmostEq(t, "MatMulAdd", got, want, 1e-10)
+
+			MatMulABT(got, a, bT)
+			refMatMul(want, a, bT, false, true, false)
+			matsAlmostEq(t, "MatMulABT", got, want, 1e-10)
+
+			copy(got.Data, seed.Data)
+			copy(want.Data, seed.Data)
+			MatMulABTAdd(got, a, bT)
+			refMatMul(want, a, bT, false, true, true)
+			matsAlmostEq(t, "MatMulABTAdd", got, want, 1e-10)
+
+			copy(got.Data, seed.Data)
+			copy(want.Data, seed.Data)
+			MatMulATBAdd(got, aT, b)
+			refMatMul(want, aT, b, true, false, true)
+			matsAlmostEq(t, "MatMulATBAdd", got, want, 1e-10)
+		})
+	}
+}
+
+// TestGEMMShapePanics verifies every new GEMM variant rejects mismatched
+// shapes rather than reading out of bounds.
+func TestGEMMShapePanics(t *testing.T) {
+	cases := map[string]func(){
+		"MatMul/inner":      func() { MatMul(NewMat(2, 2), NewMat(2, 3), NewMat(2, 2)) },
+		"MatMul/dst":        func() { MatMul(NewMat(3, 2), NewMat(2, 3), NewMat(3, 2)) },
+		"MatMulAdd/inner":   func() { MatMulAdd(NewMat(2, 2), NewMat(2, 3), NewMat(2, 2)) },
+		"MatMulABT/inner":   func() { MatMulABT(NewMat(2, 2), NewMat(2, 3), NewMat(2, 4)) },
+		"MatMulABT/dst":     func() { MatMulABT(NewMat(2, 3), NewMat(2, 3), NewMat(2, 3)) },
+		"MatMulABTAdd/dst":  func() { MatMulABTAdd(NewMat(2, 3), NewMat(2, 3), NewMat(2, 3)) },
+		"MatMulATBAdd/rows": func() { MatMulATBAdd(NewMat(3, 2), NewMat(2, 3), NewMat(4, 2)) },
+		"MatMulATBAdd/dst":  func() { MatMulATBAdd(NewMat(2, 2), NewMat(2, 3), NewMat(2, 2)) },
+		"AddBiasRows":       func() { AddBiasRows(NewMat(2, 3), make([]float64, 2)) },
+		"ColSumsAdd":        func() { ColSumsAdd(make([]float64, 2), NewMat(2, 3)) },
+		"Im2ColInto/rows":   func() { Im2ColInto(NewMat(3, 4), 0, make([]float64, 9), 1, 3, 3, 2) },
+		"Im2ColInto/cols":   func() { Im2ColInto(NewMat(4, 7), 4, make([]float64, 9), 1, 3, 3, 2) },
+		"Im2ColInto/src":    func() { Im2ColInto(NewMat(4, 4), 0, make([]float64, 8), 1, 3, 3, 2) },
+		"Col2ImAddFrom/src": func() { Col2ImAddFrom(make([]float64, 9), NewMat(3, 4), 0, 1, 3, 3, 2) },
+		"Col2ImAddFrom/off": func() { Col2ImAddFrom(make([]float64, 9), NewMat(4, 7), 4, 1, 3, 3, 2) },
+		"Col2ImAddFrom/dst": func() { Col2ImAddFrom(make([]float64, 8), NewMat(4, 4), 0, 1, 3, 3, 2) },
+	}
+	for name, f := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestAddBiasRowsAndColSums(t *testing.T) {
+	m := MatFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	AddBiasRows(m, []float64{10, 20, 30})
+	want := []float64{11, 22, 33, 14, 25, 36}
+	for i, v := range m.Data {
+		if v != want[i] {
+			t.Fatalf("AddBiasRows = %v, want %v", m.Data, want)
+		}
+	}
+	sums := []float64{1, 1, 1}
+	ColSumsAdd(sums, m)
+	if sums[0] != 26 || sums[1] != 48 || sums[2] != 70 {
+		t.Fatalf("ColSumsAdd = %v", sums)
+	}
+}
+
+// TestIm2ColIntoMatchesIm2Col pins the offset lowering to the established
+// Im2Col: each example's panel placed at its column offset must equal the
+// standalone lowering, and neighboring panels must be untouched.
+func TestIm2ColIntoMatchesIm2Col(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		channels := 1 + r.Intn(3)
+		k := 2 + r.Intn(2)
+		h := k + r.Intn(4)
+		w := k + r.Intn(4)
+		outH, outW := h-k+1, w-k+1
+		ohw := outH * outW
+		src0 := make([]float64, channels*h*w)
+		src1 := make([]float64, channels*h*w)
+		for i := range src0 {
+			src0[i] = r.NormFloat64()
+			src1[i] = r.NormFloat64()
+		}
+		wide := NewMat(channels*k*k, 2*ohw)
+		Im2ColInto(wide, 0, src0, channels, h, w, k)
+		Im2ColInto(wide, ohw, src1, channels, h, w, k)
+		ref0 := NewMat(channels*k*k, ohw)
+		ref1 := NewMat(channels*k*k, ohw)
+		Im2Col(ref0, src0, channels, h, w, k)
+		Im2Col(ref1, src1, channels, h, w, k)
+		for i := 0; i < wide.Rows; i++ {
+			for j := 0; j < ohw; j++ {
+				if wide.At(i, j) != ref0.At(i, j) || wide.At(i, ohw+j) != ref1.At(i, j) {
+					t.Fatalf("Im2ColInto panel mismatch at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestCol2ImAddFromAdjoint proves Col2ImAddFrom is the adjoint of
+// Im2ColInto at a nonzero column offset:
+// <Im2ColInto(x), c> == <x, Col2ImAddFrom(c)> over the panel.
+func TestCol2ImAddFromAdjoint(t *testing.T) {
+	r := rng.New(6)
+	for trial := 0; trial < 20; trial++ {
+		channels := 1 + r.Intn(3)
+		k := 2 + r.Intn(2)
+		h := k + r.Intn(4)
+		w := k + r.Intn(4)
+		outH, outW := h-k+1, w-k+1
+		ohw := outH * outW
+		x := make([]float64, channels*h*w)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		wide := NewMat(channels*k*k, 3*ohw)
+		Im2ColInto(wide, ohw, x, channels, h, w, k)
+		c := NewMat(channels*k*k, 3*ohw)
+		for i := range c.Data {
+			c.Data[i] = r.NormFloat64()
+		}
+		var lhs float64
+		for i := 0; i < wide.Rows; i++ {
+			wRow, cRow := wide.Row(i), c.Row(i)
+			for j := ohw; j < 2*ohw; j++ {
+				lhs += wRow[j] * cRow[j]
+			}
+		}
+		back := make([]float64, len(x))
+		Col2ImAddFrom(back, c, ohw, channels, h, w, k)
+		rhs := Dot(x, back)
+		if !almostEq(lhs, rhs, 1e-8) {
+			t.Fatalf("Col2ImAddFrom adjoint identity violated: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+// BenchmarkGEMM measures the blocked kernels at the batched-minibatch shapes
+// the MLP gradient path runs (batch 32 × the paper's 784→128 layer).
+func BenchmarkGEMM(b *testing.B) {
+	r := rng.New(1)
+	in := randMat(r, 32, 784)   // batch × fan-in
+	w := randMat(r, 128, 784)   // weights
+	out := NewMat(32, 128)      // batch × fan-out
+	dOut := randMat(r, 32, 128) // upstream deltas
+	gw := NewMat(128, 784)
+	dIn := NewMat(32, 784)
+	b.Run("ABT/32x784x128", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MatMulABT(out, in, w)
+		}
+	})
+	b.Run("ATBAdd/32x128x784", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MatMulATBAdd(gw, dOut, in)
+		}
+	})
+	b.Run("MatMul/32x128x784", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MatMul(dIn, dOut, w)
+		}
+	})
+}

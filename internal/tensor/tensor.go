@@ -58,6 +58,7 @@ func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("tensor: Dot length mismatch")
 	}
+	b = b[:len(a)] // hoist the bounds check out of the loops below
 	var s float64
 	// 4-way unrolled; the compiler keeps the accumulators in registers.
 	i := 0
@@ -75,6 +76,8 @@ func Dot(a, b []float64) float64 {
 }
 
 // Axpy computes y += alpha * x element-wise. It panics on length mismatch.
+// On amd64 hosts with AVX2+FMA the bulk of the vector runs through a fused
+// multiply-add kernel (gemm_fma_amd64.s); axpyGo is the portable fallback.
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("tensor: Axpy length mismatch")
@@ -82,8 +85,25 @@ func Axpy(alpha float64, x, y []float64) {
 	if alpha == 0 {
 		return
 	}
-	for i, xv := range x {
-		y[i] += alpha * xv
+	axpyImpl(alpha, x, y)
+}
+
+var axpyImpl = axpyGo
+
+func axpyGo(alpha float64, x, y []float64) {
+	y = y[:len(x)] // hoist the bounds check out of the loops below
+	// 4-way unrolled like Dot: the stitched small-layer path runs on these
+	// two kernels, so they carry the same register-accumulator treatment as
+	// the blocked GEMMs.
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
 	}
 }
 
@@ -140,29 +160,6 @@ func HasNaNOrInf(x []float64) bool {
 	return false
 }
 
-// MatMul computes dst = a * b. Shapes: a is m×k, b is k×n, dst is m×n.
-// dst must not alias a or b.
-func MatMul(dst, a, b Mat) {
-	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)*(%dx%d)->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
-	dst.Zero()
-	// ikj loop order: streams through b and dst rows sequentially.
-	for i := 0; i < a.Rows; i++ {
-		dRow := dst.Row(i)
-		aRow := a.Row(i)
-		for k := 0; k < a.Cols; k++ {
-			aik := aRow[k]
-			if aik == 0 {
-				continue
-			}
-			bRow := b.Row(k)
-			Axpy(aik, bRow, dRow)
-		}
-	}
-}
-
 // MatVec computes dst = a * x for a m×k matrix and length-k vector; dst has
 // length m and must not alias x.
 func MatVec(dst []float64, a Mat, x []float64) {
@@ -202,64 +199,25 @@ func OuterAdd(a Mat, alpha float64, x, y []float64) {
 // becomes a GEMM. dst must be (channels*k*k) × (outH*outW) where
 // outH = h-k+1, outW = w-k+1. Column c of dst holds the receptive field of
 // output pixel c, ordered channel, then kernel row, then kernel col.
+// The loop body lives in Im2ColInto (gemm.go), the batch-stacking variant.
 func Im2Col(dst Mat, src []float64, channels, h, w, k int) {
 	outH, outW := h-k+1, w-k+1
-	if outH <= 0 || outW <= 0 {
-		panic("tensor: Im2Col kernel larger than input")
-	}
-	if dst.Rows != channels*k*k || dst.Cols != outH*outW {
+	if outH > 0 && outW > 0 && dst.Cols != outH*outW {
 		panic("tensor: Im2Col dst shape mismatch")
 	}
-	if len(src) != channels*h*w {
-		panic("tensor: Im2Col src length mismatch")
-	}
-	row := 0
-	for c := 0; c < channels; c++ {
-		chanBase := c * h * w
-		for ky := 0; ky < k; ky++ {
-			for kx := 0; kx < k; kx++ {
-				dRow := dst.Row(row)
-				row++
-				idx := 0
-				for oy := 0; oy < outH; oy++ {
-					srcOff := chanBase + (oy+ky)*w + kx
-					copy(dRow[idx:idx+outW], src[srcOff:srcOff+outW])
-					idx += outW
-				}
-			}
-		}
-	}
+	Im2ColInto(dst, 0, src, channels, h, w, k)
 }
 
 // Col2ImAdd scatter-adds the column matrix src (the gradient with respect to
 // an Im2Col output) back into the (channels, h, w) image dst, accumulating
-// overlapping contributions. Shapes mirror Im2Col.
+// overlapping contributions. Shapes mirror Im2Col; the loop body lives in
+// Col2ImAddFrom (gemm.go), the batch-stacking variant.
 func Col2ImAdd(dst []float64, src Mat, channels, h, w, k int) {
 	outH, outW := h-k+1, w-k+1
-	if src.Rows != channels*k*k || src.Cols != outH*outW {
+	if outH > 0 && outW > 0 && src.Cols != outH*outW {
 		panic("tensor: Col2ImAdd src shape mismatch")
 	}
-	if len(dst) != channels*h*w {
-		panic("tensor: Col2ImAdd dst length mismatch")
-	}
-	row := 0
-	for c := 0; c < channels; c++ {
-		chanBase := c * h * w
-		for ky := 0; ky < k; ky++ {
-			for kx := 0; kx < k; kx++ {
-				sRow := src.Row(row)
-				row++
-				idx := 0
-				for oy := 0; oy < outH; oy++ {
-					dstOff := chanBase + (oy+ky)*w + kx
-					for ox := 0; ox < outW; ox++ {
-						dst[dstOff+ox] += sRow[idx]
-						idx++
-					}
-				}
-			}
-		}
-	}
+	Col2ImAddFrom(dst, src, 0, channels, h, w, k)
 }
 
 // ArgMax returns the index of the largest element of x; ties resolve to the
