@@ -371,6 +371,71 @@ func BenchmarkAutoShard(b *testing.B) {
 	}
 }
 
+// BenchmarkJointAutotune is the tentpole convergence check of the joint
+// (Tp, S) autotuner: at ≥8 workers, run the static Tp×S reference grid
+// (harness.JointSweep) and the autotuned run on the same workload, compute
+// the grid's knee by the controller's own threshold rules evaluated offline
+// (harness.JointKnee), and require the controller's landing point to sit
+// within one doubling per axis — ratio ≤ 2 for S, one ladder step for Tp —
+// of that knee, with both trajectories populated.
+func BenchmarkJointAutotune(b *testing.B) {
+	workers := 8
+	if m := 2 * runtime.GOMAXPROCS(0); m > workers {
+		workers = m
+	}
+	// The full tuned Tp ladder (AutoTuneTpMax=16 default), loose→tight,
+	// and the static shard counts: one index step = one doubling.
+	tps := []int{16, 8, 4, 2, 1, 0}
+	statics := []int{1, 2, 4, 8}
+	for i := 0; i < b.N; i++ {
+		sc := autoShardScale()
+		sc.MaxTime = 1000 * time.Millisecond
+		_, grid := harness.JointSweep(sc, workers, tps, statics)
+		ti, si := harness.JointKnee(grid, tps, statics)
+		kneeTp, kneeS := tps[ti], statics[si]
+
+		auto := harness.AlgoSpec{Name: "LSH_joint", Algo: sgd.Leashed,
+			Persistence: sgd.PersistenceInf, AutoTune: true}
+		scAuto := sc
+		scAuto.MaxTime = 2000 * time.Millisecond
+		cell := harness.RunCell(scAuto, auto, workers, 0, scAuto.Eta, false)
+		res := cell.Results[0]
+		if len(res.ShardTrajectory) == 0 || len(res.TpTrajectory) == 0 ||
+			res.Reshards != len(res.ShardTrajectory)-1 {
+			b.Fatalf("autotuned run missing trajectories: S %v, Tp %v, reshards %d",
+				res.ShardTrajectory, res.TpTrajectory, res.Reshards)
+		}
+		finalTp := res.TpTrajectory[len(res.TpTrajectory)-1]
+		if i == 0 {
+			fmt.Printf("m=%d knee=(Tp=%d,S=%d) | joint: final (Tp=%d,S=%d) trajS=%v trajTp=%v (%d reshards)\n",
+				workers, kneeTp, kneeS, finalTp, res.Shards,
+				res.ShardTrajectory, res.TpTrajectory, res.Reshards)
+		}
+		b.ReportMetric(float64(res.Shards), "autoS")
+		b.ReportMetric(float64(finalTp), "autoTp")
+		b.ReportMetric(float64(kneeS), "kneeS")
+		b.ReportMetric(float64(kneeTp), "kneeTp")
+		b.ReportMetric(float64(res.Reshards), "reshards")
+		// Within one doubling per axis: value ratio for S; one ladder
+		// index for Tp (the ladder ends at 0, where ratios degenerate).
+		if res.Shards > 2*kneeS || kneeS > 2*res.Shards {
+			b.Errorf("controller landed at S=%d, more than one doubling from knee S=%d", res.Shards, kneeS)
+		}
+		fi := -1
+		for j, tp := range tps {
+			if tp == finalTp {
+				fi = j
+			}
+		}
+		if fi < 0 {
+			b.Errorf("final Tp=%d is not on the tuned ladder %v", finalTp, tps)
+		} else if d := fi - ti; d < -1 || d > 1 {
+			b.Errorf("controller landed at Tp=%d, more than one ladder step from knee Tp=%d (grid %+v)",
+				finalTp, kneeTp, grid)
+		}
+	}
+}
+
 // BenchmarkGradientReadAllocs asserts the leased gradient-read path is
 // allocation-free: acquire a lease on every chain of the store, run a full
 // batch gradient through the zero-copy view, release. 0 allocs/op on the

@@ -1,11 +1,18 @@
 // Command benchreport converts `go test -bench` text output into the
-// machine-readable BENCH_<n>.json perf-trajectory artifact:
+// machine-readable BENCH_<n>.json perf-trajectory artifact, and doubles as
+// the CI perf-regression gate:
 //
-//	go test -run='^$' -bench=. -benchtime=1x . | benchreport -o BENCH_4.json
+//	go test -run='^$' -bench=. -benchtime=1x . | benchreport -o BENCH_5.json
+//	benchreport -i BENCH_smoke.txt -o BENCH_5.json -baseline BENCH_4.json -max-regress 25
 //
-// The CI bench-smoke job pipes its run through this tool and uploads the
-// JSON next to the raw log, so per-commit kernel and gradient-path numbers
-// are diffable without scraping job output.
+// The report's id label is derived from the -o filename (BENCH_5.json →
+// "BENCH_5"), so every generation of the trajectory carries its own id
+// instead of a hard-coded one. With -baseline set, the tool exits non-zero
+// when any benchmark present in both reports regresses its ns/op beyond
+// -max-regress percent, or when a benchmark matching -alloc-guard reports a
+// non-zero allocs/op — which is how the CI bench-smoke job enforces the
+// trajectory (GEMM/batched-gradient wins, 0-allocs/op leased reads) instead
+// of merely uploading it.
 package main
 
 import (
@@ -13,13 +20,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
 
 	"leashedsgd/internal/report"
 )
 
 func main() {
-	out := flag.String("o", "", "output path (default stdout)")
+	out := flag.String("o", "", "output path (default stdout); the report label derives from its basename")
 	in := flag.String("i", "", "input path (default stdin)")
+	baseline := flag.String("baseline", "", "baseline BENCH_<n>.json to gate against (empty = no gate)")
+	maxRegress := flag.Float64("max-regress", 25, "max allowed ns/op regression vs baseline, percent")
+	allocGuard := flag.String("alloc-guard", "GradientReadAllocs",
+		"regexp of benchmarks whose allocs/op must be 0 (empty disables)")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -35,6 +49,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	rep.Label = labelFor(*out)
 	var dst io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -47,7 +62,53 @@ func main() {
 	if err := rep.WriteBenchJSON(dst); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchreport: %d benchmarks\n", len(rep.Benchmarks))
+	fmt.Fprintf(os.Stderr, "benchreport: %s: %d benchmarks\n", rep.Label, len(rep.Benchmarks))
+
+	if *baseline == "" {
+		return
+	}
+	bf, err := os.Open(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := report.ReadBenchJSON(bf)
+	bf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	var guard *regexp.Regexp
+	if *allocGuard != "" {
+		if guard, err = regexp.Compile(*allocGuard); err != nil {
+			fatal(fmt.Errorf("bad -alloc-guard: %w", err))
+		}
+	}
+	regressions, matched := report.CompareBench(base, rep, *maxRegress, guard)
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: %d regression(s) vs %s (gate: +%g%% ns/op, 0 allocs/op on %q):\n",
+			len(regressions), baseLabel(base, *baseline), *maxRegress, *allocGuard)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  ", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: gate passed: %d matched benchmarks within +%g%% of %s\n",
+		matched, *maxRegress, baseLabel(base, *baseline))
+}
+
+// labelFor derives the report id from the output filename: BENCH_5.json →
+// BENCH_5. Stdout output gets the generic label "bench".
+func labelFor(out string) string {
+	if out == "" {
+		return "bench"
+	}
+	return strings.TrimSuffix(filepath.Base(out), filepath.Ext(out))
+}
+
+func baseLabel(base *report.BenchReport, path string) string {
+	if base.Label != "" {
+		return base.Label
+	}
+	return filepath.Base(path)
 }
 
 func fatal(err error) {

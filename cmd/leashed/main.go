@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	leashed run <step> [flags]     run one step: s1, s1-eta, s2, s3, s4, s5, fig9, shards, autotune
+//	leashed run <step> [flags]     run one step: s1, s1-eta, s2, s3, s4, s5, fig9, shards, autotune, jointtune
 //	leashed run-all [flags]        run every step at the configured scale
 //	leashed table1                 print the experiment-plan summary
 //
@@ -117,7 +117,7 @@ func main() {
 		}
 	}
 
-	steps := []string{"s1", "s1-eta", "s2", "s3", "s4", "s5", "fig9", "shards", "autotune"}
+	steps := []string{"s1", "s1-eta", "s2", "s3", "s4", "s5", "fig9", "shards", "autotune", "jointtune"}
 	if cmd == "run" {
 		if fs.NArg() != 1 {
 			fmt.Fprintf(os.Stderr, "run needs exactly one step (%s)\n", strings.Join(steps, ", "))
@@ -182,6 +182,13 @@ func runStep(step string, sc harness.Scale, threads, shardCounts []int, emit fun
 		// re-shard count on the auto row.
 		m := threads[len(threads)-1] * 2
 		emit(harness.AutoShardSweep(sc, m, shardCounts, sgd.PersistenceInf))
+	case "jointtune":
+		// Two-dimensional follow-up: the static Tp×S reference grid and
+		// the joint (Tp, S) controller's landing point with both
+		// trajectories.
+		m := threads[len(threads)-1] * 2
+		sweep, auto := harness.JointTuneCompare(sc, m, []int{16, 4, 1, 0}, shardCounts)
+		emit(sweep, auto)
 	case "fig9":
 		archs := []harness.Arch{harness.SmallMLP, harness.SmallCNN}
 		if sc.Arch == harness.PaperMLP || sc.Arch == harness.PaperCNN {
@@ -239,9 +246,9 @@ func parseArch(s string) (harness.Arch, error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  leashed run <s1|s1-eta|s2|s3|s4|s5|fig9|shards|autotune> [flags]
+  leashed run <s1|s1-eta|s2|s3|s4|s5|fig9|shards|autotune|jointtune> [flags]
   leashed run-all [flags]
-  leashed train [-algo LSH] [-arch mlp] [-workers N] [-shards S] [-autoshard] [-json] [-ckpt FILE] ...
+  leashed train [-algo LSH] [-arch mlp] [-workers N] [-shards S] [-autoshard] [-autotune] [-json] [-ckpt FILE] ...
   leashed table1
 flags: -scale small|paper -arch A -threads 1,2,4 -trials N -budget DUR -shards 1,2,4,8 -csv FILE`)
 }

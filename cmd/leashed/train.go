@@ -24,6 +24,7 @@ func runTrain(args []string) {
 	persistence := fs.Int("persistence", leashedsgd.PersistenceInf, "LSH persistence bound Tp (-1 = inf)")
 	shards := fs.Int("shards", 1, "published-vector shard count (LSH/HOG; 1 = paper's single chain)")
 	autoShard := fs.Bool("autoshard", false, "autotune the shard count from observed contention (LSH; excludes -shards)")
+	autoTune := fs.Bool("autotune", false, "jointly autotune shard count AND persistence bound (LSH; excludes -shards)")
 	epsilon := fs.Float64("epsilon", 0.25, "convergence target as fraction of initial loss (0 = run to budget)")
 	budget := fs.Duration("budget", 60*time.Second, "time budget")
 	samples := fs.Int("samples", 1024, "dataset size")
@@ -80,6 +81,7 @@ func runTrain(args []string) {
 		Persistence:     *persistence,
 		Shards:          *shards,
 		AutoShard:       *autoShard,
+		AutoTune:        *autoTune,
 		EpsilonFrac:     *epsilon,
 		MaxTime:         *budget,
 		Seed:            *seed,
@@ -130,6 +132,9 @@ func runTrain(args []string) {
 			out["shard_trajectory"] = res.ShardTrajectory
 			out["reshards"] = res.Reshards
 		}
+		if res.TpTrajectory != nil {
+			out["tp_trajectory"] = res.TpTrajectory
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -150,6 +155,10 @@ func runTrain(args []string) {
 	if res.ShardTrajectory != nil {
 		fmt.Printf("autoshard trajectory %v (%d reshards, final S=%d)\n",
 			res.ShardTrajectory, res.Reshards, res.Shards)
+	}
+	if n := len(res.TpTrajectory); n > 0 {
+		fmt.Printf("autotune Tp trajectory %v (final Tp=%d)\n",
+			res.TpTrajectory, res.TpTrajectory[n-1])
 	}
 	if *ckpt != "" {
 		fmt.Printf("checkpoint written to %s\n", *ckpt)

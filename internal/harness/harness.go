@@ -129,8 +129,12 @@ type AlgoSpec struct {
 	Shards int
 	// AutoShard enables the contention-adaptive shard-count controller
 	// instead of a fixed Shards (Leashed variants only; see
-	// sgd.Config.AutoShard).
+	// sgd.Config.AutoShard — the PR-2 alias of AutoTune).
 	AutoShard bool
+	// AutoTune enables the joint (Tp, S) controller: shard count steered
+	// by CAS contention, persistence bound by the mixed-version read rate
+	// (Leashed variants only; see sgd.Config.AutoTune).
+	AutoTune bool
 }
 
 // ShardedAlgos returns the Leashed configurations across a shard-count
@@ -199,6 +203,7 @@ func RunCell(sc Scale, spec AlgoSpec, workers int, epsilon, eta float64, sampleT
 			Persistence:  spec.Persistence,
 			Shards:       spec.Shards,
 			AutoShard:    spec.AutoShard,
+			AutoTune:     spec.AutoTune,
 			Seed:         sc.Seed + uint64(trial)*7919,
 			EpsilonFrac:  epsilon,
 			MaxTime:      sc.MaxTime,

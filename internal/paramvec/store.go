@@ -193,6 +193,7 @@ type Lease struct {
 	segs  [][]float64
 	offs  []int
 	seqs  []int64
+	adv   []int // chains whose head advanced during the last released lease
 	held  bool
 }
 
@@ -208,6 +209,7 @@ func (l *Lease) Acquire(st ParamStore) View {
 		l.segs = make([][]float64, c)
 		l.seqs = make([]int64, c)
 		l.offs = make([]int, c+1)
+		l.adv = make([]int, 0, c)
 	}
 	l.vecs, l.segs, l.seqs, l.offs = l.vecs[:c], l.segs[:c], l.seqs[:c], l.offs[:c+1]
 	if l.store != st {
@@ -234,19 +236,21 @@ func (l *Lease) Acquire(st ParamStore) View {
 // Release validates and drops the lease, reporting whether the leased view
 // was provably a consistent global state: true when no chain published
 // between Acquire and Release (single-chain leases are always consistent —
-// one immutable vector). The recorded sequence numbers (Seq) stay valid
-// after Release; the View does not.
+// one immutable vector). The validation walk records every chain whose head
+// advanced — the per-chain staleness accounting AdvancedChains exposes. The
+// recorded sequence numbers (Seq) stay valid after Release; the View does
+// not. Release performs no allocation once the advanced-chain slice has
+// grown to the store's chain count.
 func (l *Lease) Release() bool {
 	if !l.held {
 		panic("paramvec: Lease.Release without Acquire")
 	}
 	l.held = false
-	consistent := true
+	l.adv = l.adv[:0]
 	if len(l.vecs) > 1 {
 		for c, v := range l.vecs {
 			if l.store.ChainPeek(c) != v {
-				consistent = false
-				break
+				l.adv = append(l.adv, c)
 			}
 		}
 	}
@@ -254,8 +258,14 @@ func (l *Lease) Release() bool {
 		v.StopReading()
 		l.vecs[i] = nil
 	}
-	return consistent
+	return len(l.adv) == 0
 }
+
+// AdvancedChains returns the chains whose published head advanced during the
+// window of the last released lease — empty exactly when that read was
+// consistent. The slice is valid until the next Release and must not be
+// retained.
+func (l *Lease) AdvancedChains() []int { return l.adv }
 
 // Seq returns chain c's sequence number as read at Acquire time — the
 // staleness baseline the publish protocol measures against. Valid until the

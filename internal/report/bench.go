@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -24,9 +25,12 @@ type BenchResult struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// BenchReport is the serialized artifact: host context lines from the bench
-// header (goos/goarch/pkg/cpu) plus the benchmark records.
+// BenchReport is the serialized artifact: an id label (BENCH_5, derived by
+// cmd/benchreport from its output filename rather than hard-coded, so every
+// BENCH_<n>.json carries the right id), host context lines from the bench
+// header (goos/goarch/pkg/cpu), and the benchmark records.
 type BenchReport struct {
+	Label      string            `json:"label,omitempty"`
 	Context    map[string]string `json:"context,omitempty"`
 	Benchmarks []BenchResult     `json:"benchmarks"`
 }
@@ -107,4 +111,78 @@ func (rep *BenchReport) WriteBenchJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// ReadBenchJSON loads a report previously written by WriteBenchJSON — the
+// baseline side of the CI perf-regression gate.
+func ReadBenchJSON(r io.Reader) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("report: reading bench JSON: %w", err)
+	}
+	return &rep, nil
+}
+
+// Regression is one benchmark the perf gate rejects: either its ns/op
+// worsened beyond the allowed percentage against the baseline, or a
+// benchmark covered by the allocation guard reported a non-zero allocs/op.
+type Regression struct {
+	Name   string  // pkg-qualified benchmark name
+	Metric string  // "ns/op" or "allocs/op"
+	Base   float64 // baseline value (0 for alloc-guard findings)
+	New    float64
+	Pct    float64 // percent change vs baseline (ns/op findings only)
+}
+
+func (r Regression) String() string {
+	if r.Metric == "allocs/op" {
+		return fmt.Sprintf("%s: %g allocs/op, want 0 (allocation guard)", r.Name, r.New)
+	}
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%)", r.Name, r.Metric, r.Base, r.New, r.Pct)
+}
+
+// CompareBench is the CI perf-regression gate: it checks rep against base
+// and returns every violation. Two rules:
+//
+//   - ns/op trajectory: for every benchmark present in BOTH reports
+//     (matched by package-qualified name — benchmarks that were added,
+//     removed or renamed are skipped, so the gate never blocks on churn),
+//     the new ns/op must not exceed the baseline by more than maxRegressPct
+//     percent;
+//   - allocation guard: every benchmark in rep whose name matches
+//     allocGuard (nil disables) must report allocs/op == 0 — the
+//     leased-read zero-allocation invariant is absolute, not relative, so
+//     it needs no baseline entry. Guarded benchmarks are EXCLUDED from the
+//     ns/op rule: their timing is a testing.AllocsPerRun artifact (the body
+//     runs a fixed measurement regardless of b.N), not a real duration.
+//
+// matched reports how many benchmarks the ns/op rule actually compared, so
+// a green gate that silently matched nothing (a renamed suite) is visible
+// in the caller's log rather than reading as a pass.
+func CompareBench(base, rep *BenchReport, maxRegressPct float64, allocGuard *regexp.Regexp) (out []Regression, matched int) {
+	baseline := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		if v, ok := b.Metrics["ns/op"]; ok {
+			baseline[b.Pkg+"."+b.Name] = v
+		}
+	}
+	for _, b := range rep.Benchmarks {
+		key := b.Pkg + "." + b.Name
+		if allocGuard != nil && allocGuard.MatchString(b.Name) {
+			if a, ok := b.Metrics["allocs/op"]; ok && a > 0 {
+				out = append(out, Regression{Name: key, Metric: "allocs/op", New: a})
+			}
+			continue
+		}
+		v, ok := b.Metrics["ns/op"]
+		bv, okBase := baseline[key]
+		if !ok || !okBase || bv <= 0 {
+			continue
+		}
+		matched++
+		if pct := 100 * (v - bv) / bv; pct > maxRegressPct {
+			out = append(out, Regression{Name: key, Metric: "ns/op", Base: bv, New: v, Pct: pct})
+		}
+	}
+	return out, matched
 }

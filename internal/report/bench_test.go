@@ -2,6 +2,7 @@ package report
 
 import (
 	"encoding/json"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -76,5 +77,105 @@ func TestParseBenchEmpty(t *testing.T) {
 	}
 	if len(rep.Benchmarks) != 0 {
 		t.Fatalf("parsed phantom benchmarks: %+v", rep.Benchmarks)
+	}
+}
+
+func benchRep(label string, rows ...BenchResult) *BenchReport {
+	return &BenchReport{Label: label, Benchmarks: rows}
+}
+
+func row(pkg, name string, metrics map[string]float64) BenchResult {
+	return BenchResult{Name: name, Pkg: pkg, Iterations: 1, Metrics: metrics}
+}
+
+func TestCompareBenchGate(t *testing.T) {
+	base := benchRep("BENCH_4",
+		row("p", "BenchmarkA", map[string]float64{"ns/op": 1000}),
+		row("p", "BenchmarkB", map[string]float64{"ns/op": 2000}),
+		row("p", "BenchmarkGone", map[string]float64{"ns/op": 5}),
+	)
+	rep := benchRep("BENCH_5",
+		row("p", "BenchmarkA", map[string]float64{"ns/op": 1200}),  // +20%: inside a 25% gate
+		row("p", "BenchmarkB", map[string]float64{"ns/op": 2600}),  // +30%: regression
+		row("p", "BenchmarkNew", map[string]float64{"ns/op": 999}), // unmatched: skipped
+	)
+	got, matched := CompareBench(base, rep, 25, nil)
+	if matched != 2 {
+		t.Fatalf("matched = %d, want 2 (A and B; Gone/New unmatched)", matched)
+	}
+	if len(got) != 1 || got[0].Name != "p.BenchmarkB" || got[0].Metric != "ns/op" {
+		t.Fatalf("CompareBench = %+v, want exactly the +30%% BenchmarkB regression", got)
+	}
+	if got[0].Pct < 29.9 || got[0].Pct > 30.1 {
+		t.Fatalf("Pct = %v, want ~30", got[0].Pct)
+	}
+	// The same comparison under a looser gate passes.
+	if got, _ := CompareBench(base, rep, 35, nil); len(got) != 0 {
+		t.Fatalf("loose gate still flagged %+v", got)
+	}
+}
+
+func TestCompareBenchAllocGuard(t *testing.T) {
+	base := benchRep("BENCH_4",
+		row("p", "BenchmarkGradientReadAllocs/chains=4", map[string]float64{"ns/op": 1, "allocs/op": 0}),
+	)
+	rep := benchRep("BENCH_5",
+		row("p", "BenchmarkGradientReadAllocs/chains=4", map[string]float64{"ns/op": 1, "allocs/op": 2}),
+		// A new guard-matching benchmark with no baseline entry is still
+		// guarded: the invariant is absolute, not relative.
+		row("p", "BenchmarkGradientReadAllocs/chains=32", map[string]float64{"ns/op": 1, "allocs/op": 1}),
+		row("p", "BenchmarkOther", map[string]float64{"ns/op": 1, "allocs/op": 7}), // unguarded
+	)
+	guard := regexp.MustCompile("GradientReadAllocs")
+	got, matched := CompareBench(base, rep, 25, guard)
+	if matched != 0 {
+		t.Fatalf("matched = %d, want 0 (guarded rows are not ns/op-compared)", matched)
+	}
+	if len(got) != 2 {
+		t.Fatalf("alloc guard found %d violations %+v, want 2", len(got), got)
+	}
+	for _, r := range got {
+		if r.Metric != "allocs/op" || !strings.Contains(r.Name, "GradientReadAllocs") {
+			t.Fatalf("unexpected violation %+v", r)
+		}
+	}
+}
+
+func TestReadBenchJSONRoundTripsLabel(t *testing.T) {
+	rep, err := ParseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Label = "BENCH_5"
+	var buf strings.Builder
+	if err := rep.WriteBenchJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBenchJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != "BENCH_5" || len(back.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("round trip: label %q, %d benchmarks", back.Label, len(back.Benchmarks))
+	}
+}
+
+// TestCompareBenchGuardExcludesNsOp: a guarded benchmark's ns/op is a
+// testing.AllocsPerRun artifact and must never trip the ns/op rule, however
+// wildly it moves against the baseline.
+func TestCompareBenchGuardExcludesNsOp(t *testing.T) {
+	base := benchRep("BENCH_4",
+		row("p", "BenchmarkGradientReadAllocs/chains=1", map[string]float64{"ns/op": 0.002}),
+	)
+	rep := benchRep("BENCH_5",
+		row("p", "BenchmarkGradientReadAllocs/chains=1", map[string]float64{"ns/op": 2.5e6, "allocs/op": 0}),
+	)
+	guard := regexp.MustCompile("GradientReadAllocs")
+	if got, matched := CompareBench(base, rep, 25, guard); len(got) != 0 || matched != 0 {
+		t.Fatalf("guarded benchmark tripped the ns/op gate: %+v (matched %d)", got, matched)
+	}
+	// Without the guard the same pair is an ns/op regression.
+	if got, _ := CompareBench(base, rep, 25, nil); len(got) != 1 {
+		t.Fatalf("unguarded comparison missed the regression: %+v", got)
 	}
 }

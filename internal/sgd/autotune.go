@@ -1,26 +1,45 @@
-// Contention-adaptive shard-count autotuning (Config.AutoShard).
+// Joint contention-adaptive autotuning of the two Leashed-SGD dials
+// (Config.AutoTune): the shard count S and the persistence bound Tp.
 //
 // PR 1 made the shard count S a static knob and showed the failed-CAS rate
-// falls ~1/S; this file closes the loop and picks S at runtime from the
-// observed contention — the adaptive-partitioning move multiuser capacity
-// models make when allocating a shared medium across stations, applied to
-// the publish CAS. A controller samples the failed-CAS-per-publish rate over
-// a window and hill-climbs S (doubling under contention, halving when
-// uncontended) with hysteresis against thrash. Each re-shard quiesces the
-// workers at a barrier (the epoch RWMutex), takes a cross-shard-consistent
-// snapshot of the old cell, and republishes it into a fresh ShardedShared
-// with the new S.
+// falls ~1/S; PR 2 closed that loop with a contention-driven hill-climber on
+// S alone. But the two dials interact — more shards lowers per-chain
+// pressure, which shifts the optimal Tp — so this file generalizes the
+// controller to a joint two-dimensional tuner that coordinate-descends over
+// the (Tp, S) grid, one axis at a time, each axis driven by its own sampled
+// signal:
+//
+//   - the S axis climbs on the windowed failed-CAS-per-publish rate exactly
+//     as before (contention on the publish CAS: double under contention,
+//     halve when uncontended);
+//   - the Tp axis tightens (smaller Tp) on the windowed mixed-version read
+//     rate — the fraction of leased reads whose seqlock validation saw some
+//     chain republish mid-read. A high mixed rate means many concurrent
+//     in-flight updates (the quantity Tp γ-regulates, Corollary 3.2), so the
+//     leash is shortened; when reads are consistently clean the leash is
+//     loosened back so fewer gradients are dropped.
+//
+// Both axes reuse the same move-evaluation hysteresis: a move must improve
+// its own signal by an acceptance margin within one window or it is reverted
+// and the threshold raised, so neither axis can thrash, and alternating only
+// after the active axis goes quiet keeps each move's evaluation window free
+// of the other axis's interference. Re-tuning Tp is a cheap atomic bound
+// swap the workers pick up at their next iteration; re-sharding quiesces the
+// workers at the epoch barrier exactly as in PR 2/3.
 
 package sgd
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"leashedsgd/internal/metrics"
 )
 
-// Default decision thresholds of the shard-count autotuner. Exported so the
-// offline "knee" rule in BenchmarkAutoShard (and any external analysis of a
-// static sweep) can mirror the online controller exactly.
+// Default decision thresholds of the autotuner axes. Exported so the offline
+// "knee" rules in BenchmarkAutoShard/BenchmarkJointAutotune (and any external
+// analysis of a static sweep) can mirror the online controller exactly.
 const (
 	// AutoShardClimbRate is the windowed failed-CAS-per-publish rate above
 	// which doubling the shard count is attractive.
@@ -34,109 +53,241 @@ const (
 	// climb is reverted.
 	AutoShardImprove = 0.75
 
-	// autoShardWorsen scales the pre-move rate into the climb bar after a
-	// rejected climb: contention must grow this much past the steady rate
-	// before another climb is attempted (anti-thrash hysteresis).
-	autoShardWorsen = 1.5
-	// autoShardMinPubs is the minimum number of publishes a window needs
-	// to carry a usable contention signal.
-	autoShardMinPubs = 64
-	// autoShardCool is how many observation windows are skipped after
-	// every re-shard, letting the new configuration warm up before it is
-	// judged.
-	autoShardCool = 1
+	// AutoTuneTightenRate is the windowed mixed-version read rate above
+	// which halving the persistence bound Tp is attractive: a large
+	// fraction of leased reads overlapping a publish means many concurrent
+	// in-flight updates, the pressure a shorter leash regulates away.
+	AutoTuneTightenRate = 0.2
+	// AutoTuneLoosenRate is the mixed-read rate below which growing Tp
+	// back is attractive (reads are clean, so dropped gradients buy
+	// nothing).
+	AutoTuneLoosenRate = 0.02
+	// AutoTuneImprove is the acceptance bar for a tighten move, in the
+	// same role as AutoShardImprove on the S axis.
+	AutoTuneImprove = 0.75
+
+	// autoTuneWorsen scales the pre-move rate into the climb bar after a
+	// rejected move: the signal must grow this much past the steady rate
+	// before another attempt (anti-thrash hysteresis).
+	autoTuneWorsen = 1.5
+	// autoTuneMinSamples is the minimum number of per-window samples
+	// (publishes for the S axis, leased reads for the Tp axis) a window
+	// needs to carry a usable signal.
+	autoTuneMinSamples = 64
+	// autoTuneCool is how many observation windows are skipped after every
+	// move, letting the new configuration warm up before it is judged.
+	autoTuneCool = 1
 )
 
-// shardTuner is the pure decision core of the autotuner: a hill-climber on
-// the windowed failed-CAS-per-publish rate with move evaluation and dynamic
-// thresholds as hysteresis. It is deliberately free of clocks and atomics so
-// the controller policy is unit-testable by feeding synthetic windows.
-type shardTuner struct {
-	s          int
-	minS, maxS int
+// axisTuner is the pure decision core of one tuning axis: a hill-climber
+// over a ladder of candidate values, driven by a windowed rate, with move
+// evaluation and dynamic thresholds as hysteresis. "Up" the ladder is the
+// direction expected to REDUCE the rate (more shards for the CAS rate, a
+// tighter leash for the mixed-read rate). It is deliberately free of clocks
+// and atomics so the controller policy is unit-testable by feeding synthetic
+// windows.
+type axisTuner struct {
+	ladder []int // candidate values; pos+1 is one "doubling" up the axis
+	pos    int
 
 	wait    int     // observation windows left to skip (post-move cooldown)
-	pending int     // pre-move shard count while a move awaits evaluation (0 = none)
+	pending int     // pre-move position while a move awaits evaluation (-1 = none)
 	preRate float64 // rate measured in the window that triggered the pending move
 	upBar   float64 // dynamic climb threshold (raised after a rejected climb)
 	downBar float64 // dynamic descent threshold (lowered after a rejected descent)
+	improve float64 // acceptance bar: post-climb rate must be ≤ improve×preRate
 }
 
-func newShardTuner(s0, maxS int) *shardTuner {
-	if maxS < 1 {
-		maxS = 1
+func newAxisTuner(ladder []int, pos int, up, down, improve float64) *axisTuner {
+	if pos < 0 {
+		pos = 0
 	}
-	if s0 < 1 {
-		s0 = 1
+	if pos > len(ladder)-1 {
+		pos = len(ladder) - 1
 	}
-	if s0 > maxS {
-		s0 = maxS
-	}
-	return &shardTuner{
-		s:       s0,
-		minS:    1,
-		maxS:    maxS,
-		upBar:   AutoShardClimbRate,
-		downBar: AutoShardDescendRate,
+	return &axisTuner{
+		ladder:  ladder,
+		pos:     pos,
+		pending: -1,
+		upBar:   up,
+		downBar: down,
+		improve: improve,
 	}
 }
 
-// observe feeds one window's failed-CAS and publish counts and returns the
-// shard count for the next window, plus whether that is a change (a re-shard
-// request). The policy:
+// value is the axis's current ladder value.
+func (a *axisTuner) value() int { return a.ladder[a.pos] }
+
+// idle reports whether the axis has no move in flight: not cooling down and
+// not awaiting a move evaluation. The joint tuner hands the coordinate-
+// descent token to the other axis only when the active one is idle, so every
+// move is evaluated against a window the other axis did not disturb.
+func (a *axisTuner) idle() bool { return a.wait == 0 && a.pending < 0 }
+
+// observe feeds one window's rate (built from `samples` events) and returns
+// the axis value for the next window, plus whether that is a change. The
+// policy, inherited unchanged from the PR-2 shard tuner:
 //
-//   - a window with too few publishes carries no signal and never moves;
+//   - a window with too few samples carries no signal and never moves;
 //   - after any move, one cooldown window is skipped, then the move is
-//     evaluated: a climb must cut the rate to ≤ AutoShardImprove× the
-//     pre-move rate or it is reverted and the climb bar raised to
-//     autoShardWorsen× the steady rate (so steady contention cannot make the
-//     controller oscillate); a descent that pushes the rate back over the
-//     climb bar is reverted and the descent bar halved below the rate that
-//     triggered it;
-//   - otherwise the controller climbs (S×2) when the rate exceeds the climb
-//     bar and descends (S/2) when it falls below the descent bar.
-func (t *shardTuner) observe(failed, pubs int64) (int, bool) {
-	if pubs < autoShardMinPubs {
-		return t.s, false
+//     evaluated: a climb must cut the rate to ≤ improve× the pre-move rate
+//     or it is reverted and the climb bar raised to autoTuneWorsen× the
+//     steady rate (so steady pressure cannot make the axis oscillate); a
+//     descent that pushes the rate back over the climb bar is reverted and
+//     the descent bar halved below the rate that triggered it;
+//   - otherwise the axis climbs one ladder step when the rate exceeds the
+//     climb bar and descends one step when it falls below the descent bar.
+func (a *axisTuner) observe(rate float64, samples int64) (int, bool) {
+	if samples < autoTuneMinSamples {
+		return a.value(), false
 	}
-	rate := float64(failed) / float64(pubs)
-	if t.wait > 0 {
-		t.wait--
-		return t.s, false
+	if a.wait > 0 {
+		a.wait--
+		return a.value(), false
 	}
-	if prev := t.pending; prev != 0 {
-		t.pending = 0
+	if prev := a.pending; prev >= 0 {
+		a.pending = -1
 		switch {
-		case t.s > prev && rate > AutoShardImprove*t.preRate:
+		case a.pos > prev && rate > a.improve*a.preRate:
 			// The climb did not pay: revert, and demand substantially
-			// more contention than the steady rate before climbing again.
-			t.upBar = autoShardWorsen * t.preRate
-			return t.jump(prev), true
-		case t.s < prev && rate >= t.upBar:
-			// The descent reintroduced contention: revert, and demand
-			// substantially less contention before descending again.
-			t.downBar = t.preRate / 2
-			return t.jump(prev), true
+			// more pressure than the steady rate before climbing again.
+			a.upBar = autoTuneWorsen * a.preRate
+			return a.jump(prev), true
+		case a.pos < prev && rate >= a.upBar:
+			// The descent reintroduced pressure: revert, and demand
+			// substantially less pressure before descending again.
+			a.downBar = a.preRate / 2
+			return a.jump(prev), true
 		}
 		// Move accepted; fall through — the new steady rate may justify
 		// the next step immediately.
 	}
 	switch {
-	case rate > t.upBar && t.s < t.maxS:
-		t.pending, t.preRate = t.s, rate
-		return t.jump(min(2*t.s, t.maxS)), true
-	case rate < t.downBar && t.s > t.minS:
-		t.pending, t.preRate = t.s, rate
-		return t.jump(max(t.s/2, t.minS)), true
+	case rate > a.upBar && a.pos < len(a.ladder)-1:
+		a.pending, a.preRate = a.pos, rate
+		return a.jump(a.pos + 1), true
+	case rate < a.downBar && a.pos > 0:
+		a.pending, a.preRate = a.pos, rate
+		return a.jump(a.pos - 1), true
 	}
-	return t.s, false
+	return a.value(), false
 }
 
-// jump moves to shard count s and starts the post-move cooldown.
-func (t *shardTuner) jump(s int) int {
-	t.s = s
-	t.wait = autoShardCool
-	return s
+// jump moves to ladder position p and starts the post-move cooldown.
+func (a *axisTuner) jump(p int) int {
+	a.pos = p
+	a.wait = autoTuneCool
+	return a.value()
+}
+
+// shardLadder is the S axis: doubling shard counts 1,2,4,… capped at maxS
+// (which joins the ladder even when not itself a power of two).
+func shardLadder(maxS int) []int {
+	if maxS < 1 {
+		maxS = 1
+	}
+	var out []int
+	for s := 1; s < maxS; s *= 2 {
+		out = append(out, s)
+	}
+	return append(out, maxS)
+}
+
+// tpLadder is the Tp axis, ordered loose→tight: maxTp, maxTp/2, …, 2, 1, 0.
+// Position 0 is the loosest leash; climbing the ladder halves the bound and
+// ends at the paper's LSH_ps0. The whole ladder is finite: an autotuned run
+// configured with PersistenceInf starts at maxTp, the loosest tuned bound.
+func tpLadder(maxTp int) []int {
+	if maxTp < 1 {
+		maxTp = 1
+	}
+	var out []int
+	for tp := maxTp; tp >= 1; tp /= 2 {
+		out = append(out, tp)
+	}
+	return append(out, 0)
+}
+
+// ladderPos locates the position of the closest ladder entry for value v
+// (ladders are monotone; v outside the range clamps to the nearer end).
+func ladderPos(ladder []int, v int) int {
+	best, bestDist := 0, -1
+	for i, lv := range ladder {
+		d := lv - v
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// tuner is the joint (Tp, S) decision core: two axisTuners stepped in
+// coordinate descent. Exactly one axis is active at a time; it consumes the
+// observation windows until it goes idle without moving (its signal is
+// inside the hysteresis band and no evaluation is pending), then the token
+// alternates. This keeps each move's evaluation window clean — the rate a
+// move is judged by was produced under that move alone — which is what lets
+// the per-axis no-thrash guarantees of the PR-2 controller carry over to the
+// joint grid, where the optimal Tp shifts whenever S moves.
+type tuner struct {
+	s, tp    *axisTuner
+	tpFrozen bool // LeashedAdaptive: per-worker bound adaptation owns Tp
+	activeTp bool // coordinate-descent token
+}
+
+// newTuner builds the joint tuner: the S axis starting at s0 capped at maxS,
+// the Tp axis starting at the ladder entry closest to tp0 (PersistenceInf
+// maps to the loosest bound, maxTp) capped at maxTp. tpFrozen pins the Tp
+// axis for runs whose persistence bound is owned elsewhere (LeashedAdaptive).
+func newTuner(s0, maxS, tp0, maxTp int, tpFrozen bool) *tuner {
+	sl := shardLadder(maxS)
+	tl := tpLadder(maxTp)
+	tpPos := 0
+	if tp0 != PersistenceInf {
+		tpPos = ladderPos(tl, tp0)
+	}
+	return &tuner{
+		s:        newAxisTuner(sl, ladderPos(sl, s0), AutoShardClimbRate, AutoShardDescendRate, AutoShardImprove),
+		tp:       newAxisTuner(tl, tpPos, AutoTuneTightenRate, AutoTuneLoosenRate, AutoTuneImprove),
+		tpFrozen: tpFrozen,
+	}
+}
+
+// window is one controller observation: the per-window deltas of the two
+// signal pairs. The S axis rate is failed/pubs (failed CAS per successful
+// publish); the Tp axis rate is mixed/reads (mixed-version fraction of the
+// leased gradient reads).
+type window struct {
+	failed, pubs int64
+	mixed, reads int64
+}
+
+// observe feeds one window to the active axis and reports the next (S, Tp)
+// configuration plus which axis moved. At most one of sChanged/tpChanged is
+// true per window — the coordinate-descent invariant.
+func (t *tuner) observe(w window) (s, tp int, sChanged, tpChanged bool) {
+	if t.activeTp && !t.tpFrozen {
+		tp, tpChanged = t.tp.observe(rateOf(w.mixed, w.reads), w.reads)
+		if !tpChanged && t.tp.idle() {
+			t.activeTp = false
+		}
+		return t.s.value(), tp, false, tpChanged
+	}
+	s, sChanged = t.s.observe(rateOf(w.failed, w.pubs), w.pubs)
+	if !sChanged && t.s.idle() {
+		t.activeTp = true
+	}
+	return s, t.tp.value(), sChanged, false
+}
+
+func rateOf(num, den int64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
 }
 
 // autoTuner owns the live shard epoch of an autotuned run plus the
@@ -149,14 +300,17 @@ func (t *shardTuner) jump(s int) int {
 // the write side to re-shard, which by construction waits until every
 // in-flight iteration has drained and blocks new ones — at that point there
 // are no publishers, so a consistent snapshot validates on the first
-// attempt.
+// attempt. A Tp move needs no barrier at all: the controller stores the new
+// bound and every worker loads it at its next iteration begin.
 type autoTuner struct {
 	mu    sync.RWMutex
 	epoch *shardEpoch
 
-	tuner      *shardTuner
-	trajectory []int
-	buf        []float64 // re-shard snapshot carrier (full dimension)
+	joint        *tuner
+	bound        atomic.Int64 // current tuned persistence bound Tp
+	trajectory   []int
+	tpTrajectory []int
+	buf          []float64 // re-shard snapshot carrier (full dimension)
 
 	// Retired-epoch accumulators: contention totals, and pool accounting
 	// in full-vector equivalents (peak is a max across epochs — they are
@@ -166,7 +320,7 @@ type autoTuner struct {
 }
 
 // totals returns the run-wide failed-CAS and publish counts (retired epochs
-// plus the live one), the controller's windowed-rate inputs.
+// plus the live one), the S axis's windowed-rate inputs.
 func (at *autoTuner) totals() (failed, pubs int64) {
 	at.mu.RLock()
 	defer at.mu.RUnlock()
@@ -221,10 +375,17 @@ func (at *autoTuner) reshard(rt *runCtx, newS int) {
 	at.trajectory = append(at.trajectory, at.epoch.store.Chains())
 }
 
+// retune publishes a new persistence bound: an atomic store every worker
+// picks up at its next iteration begin — no barrier, no epoch swap.
+func (at *autoTuner) retune(newTp int) {
+	at.bound.Store(int64(newTp))
+	at.tpTrajectory = append(at.tpTrajectory, newTp)
+}
+
 // fill records the autotuned run's measurements into res: the final per-shard
-// breakdown, cross-epoch contention totals, the S-trajectory, and the shard
-// pools' memory accounting in full-vector equivalents. Called from Run after
-// the workers and the controller have exited; no locking needed.
+// breakdown, cross-epoch contention totals, both axis trajectories, and the
+// shard pools' memory accounting in full-vector equivalents. Called from Run
+// after the workers and the controller have exited; no locking needed.
 func (at *autoTuner) fill(res *Result) {
 	e := at.epoch
 	e.rollup(res) // final epoch's per-shard breakdown + totals
@@ -235,6 +396,7 @@ func (at *autoTuner) fill(res *Result) {
 	res.Publishes += at.pubAcc
 	res.ShardTrajectory = append([]int(nil), at.trajectory...)
 	res.Reshards = len(at.trajectory) - 1
+	res.TpTrajectory = append([]int(nil), at.tpTrajectory...)
 
 	peak, allocs, reuses := poolEquivalents(e.store)
 	if at.peakEq > peak {
@@ -246,17 +408,19 @@ func (at *autoTuner) fill(res *Result) {
 }
 
 // launchController starts the autotune controller goroutine: it wakes every
-// AutoShardWindow, feeds the windowed failed-CAS and publish deltas to the
-// shardTuner, and executes any requested re-shard as a store swap. The
-// worker side is the ordinary unified loop — leashedStrategy pins the live
-// epoch under the read lock for exactly one iteration.
+// AutoShardWindow, feeds the windowed signal deltas (failed CAS + publishes
+// for the S axis, mixed + total leased reads for the Tp axis) to the joint
+// tuner, and executes the requested move — a store swap for S, an atomic
+// bound store for Tp. The worker side is the ordinary unified loop —
+// leashedStrategy pins the live epoch under the read lock for exactly one
+// iteration and reloads the tuned bound at each begin.
 func (at *autoTuner) launchController(rt *runCtx, wg *sync.WaitGroup) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		ticker := time.NewTicker(rt.cfg.AutoShardWindow)
 		defer ticker.Stop()
-		var prevFailed, prevPubs int64
+		var win metrics.CounterWindow
 		for !rt.stop.Load() {
 			select {
 			case <-ticker.C:
@@ -266,9 +430,15 @@ func (at *autoTuner) launchController(rt *runCtx, wg *sync.WaitGroup) {
 				return
 			}
 			failed, pubs := at.totals()
-			newS, changed := at.tuner.observe(failed-prevFailed, pubs-prevPubs)
-			prevFailed, prevPubs = failed, pubs
-			if changed && !rt.stop.Load() {
+			consistent, mixed := rt.readTotals()
+			d := win.Deltas(failed, pubs, mixed, consistent+mixed)
+			newS, newTp, sChanged, tpChanged := at.joint.observe(window{
+				failed: d[0], pubs: d[1], mixed: d[2], reads: d[3],
+			})
+			if tpChanged {
+				at.retune(newTp)
+			}
+			if sChanged && !rt.stop.Load() {
 				at.reshard(rt, newS)
 			}
 		}

@@ -5,26 +5,33 @@ import (
 	"time"
 )
 
-// feed drives the tuner with n windows of a fixed failed/pub observation and
-// returns the number of re-shards plus the final shard count.
-func feed(t *shardTuner, n int, failed, pubs int64) (moves int, s int) {
-	s = t.s
+// newSAxis builds the shard axis alone, mirroring the PR-2 shardTuner, so
+// the per-axis policy tests keep their original shape.
+func newSAxis(s0, maxS int) *axisTuner {
+	l := shardLadder(maxS)
+	return newAxisTuner(l, ladderPos(l, s0), AutoShardClimbRate, AutoShardDescendRate, AutoShardImprove)
+}
+
+// feed drives one axis with n windows of a fixed failed/pub observation and
+// returns the number of moves plus the final axis value.
+func feed(a *axisTuner, n int, failed, pubs int64) (moves int, v int) {
+	v = a.value()
 	for i := 0; i < n; i++ {
 		var changed bool
-		s, changed = t.observe(failed, pubs)
+		v, changed = a.observe(rateOf(failed, pubs), pubs)
 		if changed {
 			moves++
 		}
 	}
-	return moves, s
+	return moves, v
 }
 
-// TestShardTunerNoThrashUnderSteadyContention: when doubling S does not
-// improve the rate (the contention is not CAS-induced), the controller must
-// try once, revert, and then hold still — not oscillate forever.
-func TestShardTunerNoThrashUnderSteadyContention(t *testing.T) {
-	tn := newShardTuner(1, 8)
-	moves, s := feed(tn, 100, 200, 1000) // rate 0.2, flat regardless of S
+// TestShardAxisNoThrashUnderSteadyContention: when doubling S does not
+// improve the rate (the contention is not CAS-induced), the axis must try
+// once, revert, and then hold still — not oscillate forever.
+func TestShardAxisNoThrashUnderSteadyContention(t *testing.T) {
+	a := newSAxis(1, 8)
+	moves, s := feed(a, 100, 200, 1000) // rate 0.2, flat regardless of S
 	if s != 1 {
 		t.Fatalf("settled at S=%d, want 1 (climb should have been reverted)", s)
 	}
@@ -33,17 +40,17 @@ func TestShardTunerNoThrashUnderSteadyContention(t *testing.T) {
 	}
 }
 
-// TestShardTunerClimbsWhileContentionFalls: with the ~1/S contention law the
-// sharded layer measures, the controller must climb monotonically to the
-// first S whose rate clears the climb threshold.
-func TestShardTunerClimbsWhileContentionFalls(t *testing.T) {
-	tn := newShardTuner(1, 8)
+// TestShardAxisClimbsWhileContentionFalls: with the ~1/S contention law the
+// sharded layer measures, the axis must climb monotonically to the first S
+// whose rate clears the climb threshold.
+func TestShardAxisClimbsWhileContentionFalls(t *testing.T) {
+	a := newSAxis(1, 8)
 	var moves int
-	s := tn.s
+	s := a.value()
 	for i := 0; i < 50; i++ {
 		rate := 0.4 / float64(s) // failed-CAS falls as 1/S
 		var changed bool
-		s, changed = tn.observe(int64(rate*10000), 10000)
+		s, changed = a.observe(rate, 10000)
 		if changed {
 			moves++
 		}
@@ -56,45 +63,253 @@ func TestShardTunerClimbsWhileContentionFalls(t *testing.T) {
 	}
 }
 
-// TestShardTunerDescendsWhenUncontended: a run whose contention evaporates
+// TestShardAxisDescendsWhenUncontended: a run whose contention evaporates
 // (fewer workers than shards) should fold back toward the single chain.
-func TestShardTunerDescendsWhenUncontended(t *testing.T) {
-	tn := newShardTuner(8, 8)
-	_, s := feed(tn, 50, 0, 10000) // zero contention
+func TestShardAxisDescendsWhenUncontended(t *testing.T) {
+	a := newSAxis(8, 8)
+	_, s := feed(a, 50, 0, 10000) // zero contention
 	if s != 1 {
 		t.Fatalf("settled at S=%d, want 1", s)
 	}
 }
 
-// TestShardTunerDescentReverts: a descent that reintroduces contention past
+// TestShardAxisDescentReverts: a descent that reintroduces contention past
 // the climb bar is undone, and the lowered descent bar blocks an immediate
 // retry at the rate that triggered the failed descent.
-func TestShardTunerDescentReverts(t *testing.T) {
-	tn := newShardTuner(2, 8)
-	low := int64(10) // rate 0.001 < descend threshold
-	s, changed := tn.observe(low, 10000)
+func TestShardAxisDescentReverts(t *testing.T) {
+	a := newSAxis(2, 8)
+	low := rateOf(10, 10000) // rate 0.001 < descend threshold
+	s, changed := a.observe(low, 10000)
 	if !changed || s != 1 {
 		t.Fatalf("expected descent to 1, got S=%d changed=%v", s, changed)
 	}
-	tn.observe(low, 10000) // cooldown window
+	a.observe(low, 10000) // cooldown window
 	// Halving doubled the per-chain pressure past the climb bar: revert.
-	s, changed = tn.observe(800, 10000) // rate 0.08 ≥ climb bar
+	s, changed = a.observe(0.08, 10000) // rate 0.08 ≥ climb bar
 	if !changed || s != 2 {
 		t.Fatalf("expected revert to 2, got S=%d changed=%v", s, changed)
 	}
-	tn.observe(low, 10000) // cooldown window
+	a.observe(low, 10000) // cooldown window
 	// The original low rate no longer clears the (halved) descent bar.
-	if _, changed = tn.observe(low, 10000); changed {
+	if _, changed = a.observe(low, 10000); changed {
 		t.Fatal("descent retried at the rate that just failed")
 	}
 }
 
-// TestShardTunerIgnoresEmptyWindows: windows without enough publishes carry
-// no signal and must never trigger a move.
-func TestShardTunerIgnoresEmptyWindows(t *testing.T) {
-	tn := newShardTuner(1, 8)
-	if moves, _ := feed(tn, 50, 30, 32); moves != 0 {
+// TestShardAxisIgnoresEmptyWindows: windows without enough samples carry no
+// signal and must never trigger a move.
+func TestShardAxisIgnoresEmptyWindows(t *testing.T) {
+	a := newSAxis(1, 8)
+	if moves, _ := feed(a, 50, 30, 32); moves != 0 {
 		t.Fatalf("%d re-shards from sub-minimum windows, want 0", moves)
+	}
+}
+
+// --- joint (Tp, S) tuner ---------------------------------------------------
+
+// jointEnv is a synthetic signal generator for the joint tuner: the two
+// windowed rates as functions of the CURRENT (S, Tp) configuration, so the
+// generator models how the dials feed back into the signals — including the
+// interaction where a re-shard shifts the Tp optimum.
+type jointEnv struct {
+	cas   func(s, tp int) float64
+	mixed func(s, tp int) float64
+}
+
+// drive runs the joint tuner for n windows against the synthetic
+// environment, returning the visited (S, Tp) trajectories (entries appended
+// only on moves, starting values first).
+func (env jointEnv) drive(t *testing.T, tn *tuner, n int) (sTraj, tpTraj []int) {
+	t.Helper()
+	s, tp := tn.s.value(), tn.tp.value()
+	sTraj, tpTraj = []int{s}, []int{tp}
+	for i := 0; i < n; i++ {
+		const pubs, reads = 10000, 10000
+		w := window{
+			failed: int64(env.cas(s, tp) * pubs), pubs: pubs,
+			mixed: int64(env.mixed(s, tp) * reads), reads: reads,
+		}
+		ns, ntp, sChanged, tpChanged := tn.observe(w)
+		if sChanged && tpChanged {
+			t.Fatalf("window %d: both axes moved at once (coordinate-descent invariant broken)", i)
+		}
+		if sChanged {
+			sTraj = append(sTraj, ns)
+		}
+		if tpChanged {
+			tpTraj = append(tpTraj, ntp)
+		}
+		s, tp = ns, ntp
+	}
+	return sTraj, tpTraj
+}
+
+// TestJointTunerTpShiftsAfterReshard is the interaction trap the joint grid
+// exists for: at S=1 every leased read is consistent (no Tp signal), so the
+// controller first climbs S on CAS contention; only then does mixed-read
+// pressure appear, and its magnitude depends on the bound — the optimal Tp
+// materializes after the re-shards. The tuner must follow: converge S to the
+// contention knee, then tighten Tp to the first bound whose mixed rate sits
+// inside the hysteresis band, with both trajectories monotone (no
+// oscillation) and no further moves once converged.
+func TestJointTunerTpShiftsAfterReshard(t *testing.T) {
+	env := jointEnv{
+		// Failed-CAS per publish falls as ~1/S, independent of Tp.
+		cas: func(s, tp int) float64 { return 0.4 / float64(s) },
+		// Mixed-version reads: none on the single chain (structurally
+		// consistent); once sharded, proportional to the leash length —
+		// 0.5 at Tp=16 falling linearly to ~0 at Tp=0.
+		mixed: func(s, tp int) float64 {
+			if s == 1 {
+				return 0
+			}
+			return 0.5 * float64(1+tp) / 17
+		},
+	}
+	tn := newTuner(1, 8, PersistenceInf, 16, false)
+	sTraj, tpTraj := env.drive(t, tn, 200)
+
+	if got := sTraj[len(sTraj)-1]; got != 8 {
+		t.Fatalf("S settled at %d (trajectory %v), want the 1/S knee 8", got, sTraj)
+	}
+	// Tighten 16→8 (0.26) →4 (0.147 < tighten bar 0.2): settles at 4.
+	if got := tpTraj[len(tpTraj)-1]; got != 4 {
+		t.Fatalf("Tp settled at %d (trajectory %v), want 4", got, tpTraj)
+	}
+	for i := 1; i < len(sTraj); i++ {
+		if sTraj[i] != 2*sTraj[i-1] {
+			t.Fatalf("S trajectory %v not a monotone doubling climb", sTraj)
+		}
+	}
+	for i := 1; i < len(tpTraj); i++ {
+		if tpTraj[i] >= tpTraj[i-1] {
+			t.Fatalf("Tp trajectory %v not a monotone tightening", tpTraj)
+		}
+	}
+	// The Tp axis must not have moved before the first re-shard gave it a
+	// signal: at the moment Tp first moved, S had already left 1. With
+	// monotone trajectories it suffices that Tp start value was held while
+	// S==1 — guaranteed here by mixed(1, tp)==0 < loosen bar at pos 0, but
+	// assert the order explicitly via trajectory lengths during a replay.
+	if len(tpTraj) < 2 {
+		t.Fatalf("Tp never moved: %v", tpTraj)
+	}
+}
+
+// TestJointTunerNoOscillationWhenAxesCoupled: an adversarial surface where
+// neither axis's move improves its own signal (flat rates above both climb
+// bars). Each axis must probe once, revert, raise its bar, and go quiet —
+// the joint loop must not ping-pong the token into endless probing.
+func TestJointTunerNoOscillationWhenAxesCoupled(t *testing.T) {
+	env := jointEnv{
+		cas:   func(s, tp int) float64 { return 0.2 },  // flat: sharding never pays
+		mixed: func(s, tp int) float64 { return 0.35 }, // flat: tightening never pays
+	}
+	tn := newTuner(1, 8, PersistenceInf, 16, false)
+	sTraj, tpTraj := env.drive(t, tn, 300)
+	if got := sTraj[len(sTraj)-1]; got != 1 {
+		t.Fatalf("S ended at %d (trajectory %v), want reverted to 1", got, sTraj)
+	}
+	if got := tpTraj[len(tpTraj)-1]; got != 16 {
+		t.Fatalf("Tp ended at %d (trajectory %v), want reverted to 16", got, tpTraj)
+	}
+	if sMoves, tpMoves := len(sTraj)-1, len(tpTraj)-1; sMoves != 2 || tpMoves != 2 {
+		t.Fatalf("moves S=%d Tp=%d under steady pressure, want exactly 2+2 (probe + revert per axis)",
+			sMoves, tpMoves)
+	}
+}
+
+// TestJointTunerConvergesWithinOneDoublingOfGridKnee drives the tuner over a
+// smooth synthetic (Tp, S) response surface and compares its landing point
+// against the offline knee computed from the same surface by the exported
+// threshold rules — the unit-level version of BenchmarkJointAutotune's
+// claim: within one ladder step (one doubling) per axis.
+func TestJointTunerConvergesWithinOneDoublingOfGridKnee(t *testing.T) {
+	env := jointEnv{
+		cas: func(s, tp int) float64 { return 0.3 / float64(s) },
+		mixed: func(s, tp int) float64 {
+			if s == 1 {
+				return 0
+			}
+			return 0.4 * float64(1+tp) / 17
+		},
+	}
+	tn := newTuner(1, 8, PersistenceInf, 16, false)
+	sTraj, tpTraj := env.drive(t, tn, 300)
+	finalS, finalTp := sTraj[len(sTraj)-1], tpTraj[len(tpTraj)-1]
+
+	// Offline knee, same rules the online axes apply: climb S while the
+	// rate clears the climb threshold and the doubling still pays the
+	// acceptance margin; then tighten Tp the same way at the knee S.
+	sl, tl := shardLadder(8), tpLadder(16)
+	kneeS := 0
+	for kneeS+1 < len(sl) && env.cas(sl[kneeS], 16) > AutoShardClimbRate &&
+		env.cas(sl[kneeS+1], 16) <= AutoShardImprove*env.cas(sl[kneeS], 16) {
+		kneeS++
+	}
+	kneeTp := 0
+	for kneeTp+1 < len(tl) && env.mixed(sl[kneeS], tl[kneeTp]) > AutoTuneTightenRate &&
+		env.mixed(sl[kneeS], tl[kneeTp+1]) <= AutoTuneImprove*env.mixed(sl[kneeS], tl[kneeTp]) {
+		kneeTp++
+	}
+	if d := ladderPos(sl, finalS) - kneeS; d < -1 || d > 1 {
+		t.Fatalf("S landed at %d, more than one doubling from knee %d (trajectory %v)",
+			finalS, sl[kneeS], sTraj)
+	}
+	if d := ladderPos(tl, finalTp) - kneeTp; d < -1 || d > 1 {
+		t.Fatalf("Tp landed at %d, more than one doubling from knee %d (trajectory %v)",
+			finalTp, tl[kneeTp], tpTraj)
+	}
+}
+
+// TestJointTunerTpFrozen: under LeashedAdaptive the per-worker bound
+// adaptation owns Tp, so the joint tuner must never move that axis no matter
+// the mixed-read pressure — while the S axis keeps working.
+func TestJointTunerTpFrozen(t *testing.T) {
+	env := jointEnv{
+		cas:   func(s, tp int) float64 { return 0.4 / float64(s) },
+		mixed: func(s, tp int) float64 { return 0.9 },
+	}
+	tn := newTuner(1, 8, 4, 16, true)
+	sTraj, tpTraj := env.drive(t, tn, 200)
+	if len(tpTraj) != 1 || tpTraj[0] != 4 {
+		t.Fatalf("frozen Tp axis moved: %v", tpTraj)
+	}
+	if got := sTraj[len(sTraj)-1]; got != 8 {
+		t.Fatalf("S settled at %d with Tp frozen, want 8", got)
+	}
+}
+
+// TestTpLadderAndPositions pins the ladder construction the one-doubling
+// claims are measured on.
+func TestTpLadderAndPositions(t *testing.T) {
+	wantTp := []int{16, 8, 4, 2, 1, 0}
+	if got := tpLadder(16); len(got) != len(wantTp) {
+		t.Fatalf("tpLadder(16) = %v, want %v", got, wantTp)
+	} else {
+		for i := range got {
+			if got[i] != wantTp[i] {
+				t.Fatalf("tpLadder(16) = %v, want %v", got, wantTp)
+			}
+		}
+	}
+	wantS := []int{1, 2, 4, 8, 12}
+	got := shardLadder(12) // non-power-of-two cap joins the ladder
+	if len(got) != len(wantS) {
+		t.Fatalf("shardLadder(12) = %v, want %v", got, wantS)
+	}
+	for i := range got {
+		if got[i] != wantS[i] {
+			t.Fatalf("shardLadder(12) = %v, want %v", got, wantS)
+		}
+	}
+	// PersistenceInf is mapped to the loose end by newTuner, not by
+	// ladderPos (where a raw -1 is simply nearest to 0).
+	if tn := newTuner(1, 8, PersistenceInf, 16, false); tn.tp.value() != 16 {
+		t.Fatalf("newTuner(PersistenceInf) starts Tp at %d, want 16", tn.tp.value())
+	}
+	if p := ladderPos(tpLadder(16), 5); tpLadder(16)[p] != 4 {
+		t.Fatalf("ladderPos(5) picked %d, want nearest entry 4", tpLadder(16)[p])
 	}
 }
 
@@ -102,6 +317,7 @@ func TestShardTunerIgnoresEmptyWindows(t *testing.T) {
 
 func autoConfig(workers int) Config {
 	cfg := testConfig(Leashed, workers)
+	// Deliberately the PR-2 alias, so the compatibility path stays covered.
 	cfg.AutoShard = true
 	cfg.AutoShardWindow = 5 * time.Millisecond
 	return cfg
@@ -145,6 +361,36 @@ func TestAutoShardReportsTrajectory(t *testing.T) {
 	}
 }
 
+// TestAutoTuneReportsTpTrajectory: the joint controller populates the Tp
+// trajectory — starting at Config.Persistence clamped to the tuned ladder
+// (PersistenceInf starts at AutoTuneTpMax) — and every entry stays on the
+// ladder. Whether it moves depends on host contention, so only the
+// structural invariants are asserted.
+func TestAutoTuneReportsTpTrajectory(t *testing.T) {
+	ds := tinyDataset()
+	cfg := testConfig(Leashed, 4)
+	cfg.AutoTune = true
+	cfg.AutoShardWindow = 5 * time.Millisecond
+	cfg.EpsilonFrac = 0
+	cfg.MaxUpdates = 400
+	res := runOrFatal(t, cfg, tinyNet(ds), ds)
+	if len(res.TpTrajectory) == 0 || res.TpTrajectory[0] != 16 {
+		t.Fatalf("TpTrajectory %v, want first entry AutoTuneTpMax=16 (PersistenceInf start)", res.TpTrajectory)
+	}
+	onLadder := map[int]bool{}
+	for _, v := range tpLadder(16) {
+		onLadder[v] = true
+	}
+	for _, tp := range res.TpTrajectory {
+		if !onLadder[tp] {
+			t.Fatalf("TpTrajectory %v contains off-ladder bound %d", res.TpTrajectory, tp)
+		}
+	}
+	if len(res.ShardTrajectory) == 0 {
+		t.Fatalf("joint run missing ShardTrajectory")
+	}
+}
+
 func TestAutoShardInitialRespected(t *testing.T) {
 	ds := tinyDataset()
 	cfg := autoConfig(2)
@@ -165,7 +411,9 @@ func TestAutoShardInitialRespected(t *testing.T) {
 // across the epoch boundaries. How far it gets within the time budget
 // depends on host speed (the race detector slows windows below the
 // minimum-publish signal bar), so the assertion is strict monotone descent
-// with at least one re-shard, not full convergence to S=1.
+// with at least one re-shard, not full convergence to S=1. The Tp axis is
+// tuned concurrently (coordinate descent shares the windows between the
+// axes), which must not disturb the S descent.
 func TestAutoShardDescendsUncontendedRun(t *testing.T) {
 	ds := tinyDataset()
 	cfg := autoConfig(1)
@@ -205,7 +453,42 @@ func TestAutoShardDescendsUncontendedRun(t *testing.T) {
 	}
 }
 
-func TestAutoShardConfigValidation(t *testing.T) {
+// TestAutoTuneLoosensUncontendedRun is the Tp-axis counterpart of
+// TestAutoShardDescendsUncontendedRun, deterministic on any host: a single
+// worker produces zero contention and zero mixed reads, so a run started at
+// the tight end of the ladder (Persistence=1) must loosen the bound — each
+// accepted move a live atomic bound swap the worker picks up mid-run —
+// strictly monotonically, after the S axis has folded its S0=4 back down
+// and handed the coordinate-descent token over.
+func TestAutoTuneLoosensUncontendedRun(t *testing.T) {
+	ds := tinyDataset()
+	cfg := testConfig(Leashed, 1)
+	cfg.AutoTune = true
+	cfg.AutoShardWindow = 5 * time.Millisecond
+	cfg.AutoShardInitial = 4
+	cfg.Persistence = 1
+	cfg.EpsilonFrac = 0
+	cfg.MaxTime = 2 * time.Second
+	res := runOrFatal(t, cfg, tinyNet(ds), ds)
+	if len(res.TpTrajectory) < 2 || res.TpTrajectory[0] != 1 {
+		t.Fatalf("uncontended tight run never loosened: Tp trajectory %v (S %v)",
+			res.TpTrajectory, res.ShardTrajectory)
+	}
+	for i := 1; i < len(res.TpTrajectory); i++ {
+		if res.TpTrajectory[i] <= res.TpTrajectory[i-1] {
+			t.Fatalf("Tp trajectory %v not strictly loosening", res.TpTrajectory)
+		}
+	}
+	if res.DroppedUpdates != 0 || res.FailedCAS != 0 {
+		t.Fatalf("1-worker run had contention: failed=%d dropped=%d",
+			res.FailedCAS, res.DroppedUpdates)
+	}
+	if res.FinalLiveVectors != 0 {
+		t.Fatalf("leak: %d vectors live after run", res.FinalLiveVectors)
+	}
+}
+
+func TestAutoTuneConfigValidation(t *testing.T) {
 	ds := tinyDataset()
 	cfg := autoConfig(2)
 	cfg.Shards = 4
@@ -216,5 +499,10 @@ func TestAutoShardConfigValidation(t *testing.T) {
 	cfg.Algo = Hogwild
 	if _, err := Run(cfg, tinyNet(ds), ds); err == nil {
 		t.Fatal("AutoShard with HOGWILD accepted")
+	}
+	cfg = testConfig(Hogwild, 2)
+	cfg.AutoTune = true
+	if _, err := Run(cfg, tinyNet(ds), ds); err == nil {
+		t.Fatal("AutoTune with HOGWILD accepted")
 	}
 }

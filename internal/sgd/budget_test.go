@@ -75,6 +75,40 @@ func TestMaxUpdatesExactAutoShard(t *testing.T) {
 	}
 }
 
+// TestMaxUpdatesExactAutoTune runs the same exactness guarantee under the
+// joint controller: concurrent Tp moves (atomic bound swaps that change how
+// often gradients are dropped and refunded) and re-shards together must
+// still land the budget exactly — for plain Leashed, whose bound the tuner
+// owns, and for LeashedAdaptive, whose bound stays per-worker while only the
+// S axis moves.
+func TestMaxUpdatesExactAutoTune(t *testing.T) {
+	ds := tinyDataset()
+	for _, algo := range []Algorithm{Leashed, LeashedAdaptive} {
+		t.Run(algo.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := testConfig(algo, 4)
+			cfg.AutoTune = true
+			cfg.AutoShardWindow = 5 * time.Millisecond
+			// A tight tuned ladder makes Tp=0 reachable quickly, so the
+			// drop-and-refund path is actually exercised under the budget.
+			cfg.AutoTuneTpMax = 2
+			cfg.EpsilonFrac = 0
+			cfg.MaxUpdates = 233
+			cfg.MaxTime = 60 * time.Second
+			res := runOrFatal(t, cfg, tinyNet(ds), ds)
+			if res.TotalUpdates != 233 {
+				t.Fatalf("TotalUpdates = %d, want exactly 233 (S %v, Tp %v)",
+					res.TotalUpdates, res.ShardTrajectory, res.TpTrajectory)
+			}
+			// LeashedAdaptive owns its bound per worker: the frozen Tp
+			// axis must not fabricate a trajectory.
+			if algo == LeashedAdaptive && res.TpTrajectory != nil {
+				t.Fatalf("frozen Tp axis reported trajectory %v", res.TpTrajectory)
+			}
+		})
+	}
+}
+
 // TestBudgetEndsPromptly: the worker that applies the final budgeted update
 // wakes the monitor immediately, so a bounded run must not linger for extra
 // EvalEvery ticks after the budget is spent.

@@ -12,6 +12,10 @@ import "leashedsgd/internal/paramvec"
 type shardEpoch struct {
 	store                       paramvec.ParamStore
 	failed, dropped, pub, stale []paddedCounter
+	// rstale counts, per chain, the leased reads during which that chain's
+	// head advanced (the per-chain decomposition of a mixed-version read —
+	// the staleness accounting the Tp autotuning axis is steered by).
+	rstale []paddedCounter
 }
 
 // newShardEpoch builds the canonical store for the given chain count
@@ -27,6 +31,7 @@ func newShardEpoch(dim, chains int, theta []float64) *shardEpoch {
 		dropped: newCounters(n),
 		pub:     newCounters(n),
 		stale:   newCounters(n),
+		rstale:  newCounters(n),
 	}
 }
 
@@ -40,11 +45,13 @@ func (e *shardEpoch) rollup(res *Result) {
 	res.ShardDropped = make([]int64, S)
 	res.ShardPublishes = make([]int64, S)
 	res.ShardStalenessMean = make([]float64, S)
+	res.ShardStaleReads = make([]int64, S)
 	res.Publishes = 0
 	for s := 0; s < S; s++ {
 		res.ShardFailedCAS[s] = e.failed[s].n.Load()
 		res.ShardDropped[s] = e.dropped[s].n.Load()
 		res.ShardPublishes[s] = e.pub[s].n.Load()
+		res.ShardStaleReads[s] = e.rstale[s].n.Load()
 		if pub := res.ShardPublishes[s]; pub > 0 {
 			res.ShardStalenessMean[s] = float64(e.stale[s].n.Load()) / float64(pub)
 		}

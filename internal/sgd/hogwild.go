@@ -53,6 +53,7 @@ func (rt *runCtx) newHogwildStrategy(initVec *paramvec.Vector) *hogwildStrategy 
 			dropped: newCounters(s),
 			pub:     newCounters(s),
 			stale:   newCounters(s),
+			rstale:  newCounters(s),
 		}
 		rt.epoch = st.epoch
 	}

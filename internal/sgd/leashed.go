@@ -10,8 +10,8 @@ import (
 // loop, parameterized over paramvec.ParamStore — ONE implementation covers
 // the paper's single chain (paramvec.Shared, Config.Shards <= 1), the
 // sharded store (paramvec.ShardedShared, Shards > 1) and the autotuned run
-// (Config.AutoShard, where the controller swaps the store between epochs
-// behind the same interface).
+// (Config.AutoTune, where the controller swaps the store between epochs
+// behind the same interface and retunes the persistence bound atomically).
 //
 // Per iteration a worker:
 //
@@ -59,14 +59,25 @@ type leashedStrategy struct {
 // init vector's buffer back to the pool.
 func (rt *runCtx) newLeashedStrategy(initVec *paramvec.Vector) *leashedStrategy {
 	cfg := rt.cfg
-	if cfg.AutoShard {
+	if cfg.AutoTune {
 		maxS := min(cfg.AutoShardMax, rt.d)
+		// Under LeashedAdaptive the per-worker bound adaptation owns Tp;
+		// the joint tuner then moves the S axis only.
+		tpFrozen := cfg.Algo == LeashedAdaptive
 		at := &autoTuner{
-			tuner: newShardTuner(cfg.AutoShardInitial, maxS),
+			joint: newTuner(cfg.AutoShardInitial, maxS, cfg.Persistence, cfg.AutoTuneTpMax, tpFrozen),
 			buf:   make([]float64, rt.d),
 		}
-		at.epoch = newShardEpoch(rt.d, at.tuner.s, initVec.Theta)
+		at.epoch = newShardEpoch(rt.d, at.joint.s.value(), initVec.Theta)
 		at.trajectory = []int{at.epoch.store.Chains()}
+		if !tpFrozen {
+			// A frozen Tp axis records no trajectory: the workers' bounds
+			// are the per-worker adaptive values seeded from Persistence,
+			// so a ladder-clamped "start" here would report a bound that
+			// was never in effect.
+			at.bound.Store(int64(at.joint.tp.value()))
+			at.tpTrajectory = []int{at.joint.tp.value()}
+		}
 		initVec.Release()
 		rt.auto = at
 		return &leashedStrategy{rt: rt, auto: at}
@@ -85,11 +96,17 @@ func (st *leashedStrategy) setup(w *loopWorker) {
 // begin gates the iteration and pins the live epoch: autotuned workers hold
 // the epoch read lock for exactly one iteration, so the controller's
 // re-shard (write lock) waits for in-flight iterations and blocks new ones.
+// They also reload the tuned persistence bound — a Tp move is nothing more
+// than this atomic load observing a new value (the per-worker adaptive
+// bound of LeashedAdaptive stays worker-owned).
 func (st *leashedStrategy) begin(w *loopWorker) bool {
 	if !st.rt.defaultBegin() {
 		return false
 	}
 	if st.auto != nil {
+		if !w.adaptive {
+			w.bound = int(st.auto.bound.Load())
+		}
 		st.auto.mu.RLock()
 		w.epoch = st.auto.epoch
 	} else {
@@ -109,12 +126,17 @@ func (st *leashedStrategy) read(w *loopWorker) paramvec.View {
 	return w.lease.Acquire(w.epoch.store)
 }
 
-// endRead releases the lease and tallies the consistency classification.
+// endRead releases the lease and tallies the consistency classification —
+// live per-worker counts (the Tp axis's windowed signal) plus the per-chain
+// stale-read breakdown for mixed reads.
 func (st *leashedStrategy) endRead(w *loopWorker) {
 	if w.lease.Release() {
-		w.consistent++
-	} else {
-		w.mixed++
+		w.tally.consistent.Add(1)
+		return
+	}
+	w.tally.mixed.Add(1)
+	for _, c := range w.lease.AdvancedChains() {
+		w.epoch.rstale[c].n.Add(1)
 	}
 }
 

@@ -87,12 +87,11 @@ type loopWorker struct {
 	readSeq int64
 
 	// Leased zero-copy reads (Leashed variants).
-	lease      paramvec.Lease
-	epoch      *shardEpoch // current publication epoch, stashed by begin
-	bound      int         // local persistence bound (adapts under LeashedAdaptive)
-	adaptive   bool
-	consistent int64 // leased reads proven one global state
-	mixed      int64 // leased reads that may mix chain versions
+	lease    paramvec.Lease
+	epoch    *shardEpoch // current publication epoch, stashed by begin
+	bound    int         // local persistence bound (adapts under LeashedAdaptive)
+	adaptive bool
+	tally    *readTally // this worker's live consistency tally slot
 }
 
 func (rt *runCtx) newLoopWorker(id int) *loopWorker {
@@ -105,6 +104,7 @@ func (rt *runCtx) newLoopWorker(id int) *loopWorker {
 		hist:     rt.hists[id],
 		tc:       rt.tcs[id],
 		tu:       rt.tus[id],
+		tally:    &rt.readTallies[id],
 		bound:    cfg.Persistence,
 		adaptive: cfg.Algo == LeashedAdaptive,
 	}
@@ -163,8 +163,6 @@ func (rt *runCtx) workerLoop(id int, st strategy) {
 			w.param.Release()
 		}
 		w.grad.Release()
-		rt.consistentReads.Add(w.consistent)
-		rt.mixedReads.Add(w.mixed)
 	}()
 	timeCommit := st.loopTimesCommit()
 	for st.begin(w) {

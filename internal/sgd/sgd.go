@@ -102,16 +102,28 @@ type Config struct {
 	// staleness is measured per shard.
 	Shards int
 
-	// AutoShard enables contention-adaptive shard-count autotuning for the
-	// Leashed variants (extension): instead of a fixed S the run starts at
-	// AutoShardInitial shards and a controller samples the failed-CAS rate
-	// per publish over AutoShardWindow, hill-climbing S (doubling under
-	// contention, halving when uncontended, with hysteresis against
-	// thrash). Each re-shard quiesces the workers at a barrier, takes a
-	// cross-shard-consistent snapshot and republishes it into a fresh
-	// sharded cell. Mutually exclusive with a fixed Shards > 1; requires
-	// Algo Leashed or LeashedAdaptive. The S-trajectory lands in
-	// Result.ShardTrajectory.
+	// AutoTune enables joint contention-adaptive autotuning of the two
+	// Leashed dials (extension): the shard count S and the persistence
+	// bound Tp. A controller samples two windowed signals over
+	// AutoShardWindow — the failed-CAS rate per publish (steering S:
+	// doubling under contention, halving when uncontended) and the
+	// mixed-version read rate from the leased-read seqlock classification
+	// (steering Tp: tightening the leash under mixed-read pressure,
+	// loosening it when reads are clean) — and hill-climbs the (Tp, S)
+	// grid in coordinate descent, one axis at a time, with per-move
+	// evaluation hysteresis against thrash. A Tp move is an atomic bound
+	// swap workers pick up at their next iteration; each re-shard
+	// quiesces the workers at a barrier, takes a cross-shard-consistent
+	// snapshot and republishes it into a fresh cell. Mutually exclusive
+	// with a fixed Shards > 1; requires Algo Leashed or LeashedAdaptive
+	// (under LeashedAdaptive the per-worker bound adaptation owns Tp, so
+	// only the S axis moves). The starting Tp is Config.Persistence
+	// clamped to the tuned ladder (PersistenceInf starts at
+	// AutoTuneTpMax, the loosest tuned bound). Trajectories land in
+	// Result.TpTrajectory and Result.ShardTrajectory.
+	AutoTune bool
+	// AutoShard is the PR-2 name of the autotuner knob, kept as a
+	// compatibility alias: setting it behaves exactly like AutoTune.
 	AutoShard bool
 	// AutoShardInitial is the autotuner's starting shard count S₀
 	// (default 1, the paper's single chain).
@@ -119,9 +131,12 @@ type Config struct {
 	// AutoShardMax caps the autotuned shard count (default 64, clamped to
 	// the parameter dimension).
 	AutoShardMax int
-	// AutoShardWindow is the autotuner's contention-sampling window
-	// (default 50ms).
+	// AutoShardWindow is the autotuner's signal-sampling window
+	// (default 50ms), shared by both axes.
 	AutoShardWindow time.Duration
+	// AutoTuneTpMax caps the tuned persistence bound (default 16): the
+	// Tp ladder is AutoTuneTpMax, AutoTuneTpMax/2, …, 1, 0.
+	AutoTuneTpMax int
 
 	Seed uint64
 
@@ -190,6 +205,10 @@ func (c Config) withDefaults(dsLen int) Config {
 		c.Shards = 1
 	}
 	if c.AutoShard {
+		// Compatibility alias: PR-2 configs set AutoShard.
+		c.AutoTune = true
+	}
+	if c.AutoTune {
 		if c.AutoShardInitial <= 0 {
 			c.AutoShardInitial = 1
 		}
@@ -198,6 +217,9 @@ func (c Config) withDefaults(dsLen int) Config {
 		}
 		if c.AutoShardWindow <= 0 {
 			c.AutoShardWindow = 50 * time.Millisecond
+		}
+		if c.AutoTuneTpMax <= 0 {
+			c.AutoTuneTpMax = 16
 		}
 	}
 	if c.MaxUpdates <= 0 && c.MaxTime <= 0 {
@@ -291,12 +313,17 @@ type Result struct {
 	// that ignore the sharding knob). ShardPublishes counts successful
 	// shard publishes (HOGWILD!: per-shard component-update sweeps);
 	// ShardStalenessMean is the mean per-shard publish staleness, measured
-	// in that shard's own sequence numbers.
+	// in that shard's own sequence numbers. ShardStaleReads counts, per
+	// shard, the leased reads during which THAT shard's chain republished
+	// (the per-chain decomposition of MixedReads; a single read that saw
+	// k chains advance contributes to k entries) — the staleness
+	// distribution the Tp autotuning axis samples.
 	Shards             int
 	ShardFailedCAS     []int64
 	ShardDropped       []int64
 	ShardPublishes     []int64
 	ShardStalenessMean []float64
+	ShardStaleReads    []int64
 
 	// Publishes counts successful shard publishes over the whole run —
 	// for autotuned runs that includes retired epochs, where the
@@ -307,13 +334,20 @@ type Result struct {
 	// performs one.
 	Publishes int64
 
-	// AutoShard measurements (nil/0 unless Config.AutoShard was set).
-	// ShardTrajectory is the sequence of shard counts the controller moved
-	// through — first entry S₀, last entry the final S (which Shards also
-	// reports, and which the per-shard breakdown above describes).
-	// Reshards counts the re-shard events, len(ShardTrajectory)-1.
+	// Autotune measurements (nil/0 unless Config.AutoTune/AutoShard was
+	// set). ShardTrajectory is the sequence of shard counts the
+	// controller moved through — first entry S₀, last entry the final S
+	// (which Shards also reports, and which the per-shard breakdown above
+	// describes). Reshards counts the re-shard events,
+	// len(ShardTrajectory)-1. TpTrajectory is the same record for the
+	// persistence-bound axis: first entry the starting bound, last entry
+	// the bound the run ended on; unlike a re-shard, a Tp move is only an
+	// atomic bound swap, so its length carries no epoch-count meaning.
+	// Nil for LeashedAdaptive autotuned runs, whose bound is per-worker
+	// and never controller-owned.
 	ShardTrajectory []int
 	Reshards        int
+	TpTrajectory    []int
 
 	// ParameterVector memory accounting (Fig. 10): buffers live at peak
 	// and at exit, plus total heap allocations (allocations ≪ checkouts
@@ -381,9 +415,11 @@ type runCtx struct {
 	stopped  chan struct{}
 	stopOnce sync.Once
 
-	// Leased-read consistency tallies, flushed once per worker at exit.
-	consistentReads atomic.Int64
-	mixedReads      atomic.Int64
+	// Leased-read consistency tallies: one padded slot per worker, bumped
+	// on the worker's own cache line at every leased read, so the
+	// autotune controller can sample the mixed-read rate per window live
+	// (exit-time flushing would starve the Tp axis of its signal).
+	readTallies []readTally
 
 	// pool checks out the workers' private buffers (gradients, read
 	// copies); the published chains live in the strategy's ParamStore.
@@ -416,6 +452,23 @@ type paddedCounter struct {
 
 func newCounters(n int) []paddedCounter { return make([]paddedCounter, n) }
 
+// readTally is one worker's leased-read classification counters, padded so
+// neighbouring workers' tallies never share a cache line.
+type readTally struct {
+	consistent, mixed atomic.Int64
+	_                 [112]byte
+}
+
+// readTotals sums the per-worker leased-read tallies — the Tp axis's
+// windowed-signal inputs, and the Result's run totals.
+func (rt *runCtx) readTotals() (consistent, mixed int64) {
+	for i := range rt.readTallies {
+		consistent += rt.readTallies[i].consistent.Load()
+		mixed += rt.readTallies[i].mixed.Load()
+	}
+	return consistent, mixed
+}
+
 func newRuntime(cfg Config, net *nn.Network, ds *data.Dataset) *runCtx {
 	rt := &runCtx{
 		cfg:     cfg,
@@ -429,6 +482,7 @@ func newRuntime(cfg Config, net *nn.Network, ds *data.Dataset) *runCtx {
 	rt.hists = make([]*metrics.Hist, cfg.Workers)
 	rt.tcs = make([]*metrics.DurationSampler, cfg.Workers)
 	rt.tus = make([]*metrics.DurationSampler, cfg.Workers)
+	rt.readTallies = make([]readTally, cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		rt.hists[i] = metrics.NewHist(cfg.StalenessBound)
 		rt.tcs[i] = &metrics.DurationSampler{}
@@ -544,12 +598,12 @@ func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
 	if cfg.Eta <= 0 {
 		return nil, fmt.Errorf("sgd: step size must be positive, got %v", cfg.Eta)
 	}
-	if cfg.AutoShard {
+	if cfg.AutoTune || cfg.AutoShard {
 		if cfg.Shards > 1 {
-			return nil, fmt.Errorf("sgd: AutoShard and a fixed Shards=%d are mutually exclusive", cfg.Shards)
+			return nil, fmt.Errorf("sgd: AutoTune and a fixed Shards=%d are mutually exclusive", cfg.Shards)
 		}
 		if cfg.Algo != Leashed && cfg.Algo != LeashedAdaptive {
-			return nil, fmt.Errorf("sgd: AutoShard requires a Leashed variant, got %v", cfg.Algo)
+			return nil, fmt.Errorf("sgd: AutoTune requires a Leashed variant, got %v", cfg.Algo)
 		}
 	}
 	cfg = cfg.withDefaults(ds.Len())
@@ -605,8 +659,7 @@ func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
 	res.BufferAllocs = rt.pool.Allocs()
 	res.BufferReuses = rt.pool.Reuses()
 	res.Shards = rt.numShards()
-	res.ConsistentReads = rt.consistentReads.Load()
-	res.MixedReads = rt.mixedReads.Load()
+	res.ConsistentReads, res.MixedReads = rt.readTotals()
 	switch {
 	case rt.auto != nil:
 		rt.auto.fill(res)

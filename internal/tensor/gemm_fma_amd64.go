@@ -1,4 +1,4 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 package tensor
 
@@ -8,6 +8,11 @@ package tensor
 // block; the drivers keep the same cache blocking as the portable kernels
 // and fall back to the scalar paths for remainder rows/columns, so results
 // differ from the portable kernels only in floating-point summation order.
+//
+// The whole dispatch sits behind the `noasm` build tag (`-tags noasm`
+// compiles the portable 2×4-tile Go kernels alone, on amd64 too), which is
+// how the CI portable matrix leg exercises the fallback path on every push
+// instead of only on non-amd64 hosts.
 
 // fmaGEMMEnabled reports whether init selected the FMA drivers; exposed for
 // tests so the asm-vs-portable equivalence suite knows it actually ran the

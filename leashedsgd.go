@@ -33,15 +33,20 @@
 // shards`, BenchmarkShardSweepContention), and a 0 allocs/op guard on the
 // leased read path (BenchmarkGradientReadAllocs).
 //
-// Config.AutoShard closes that loop: instead of fixing S, a controller
-// samples the failed-CAS rate per publish over a window and hill-climbs the
-// shard count at runtime (doubling under contention, halving when
-// uncontended, with hysteresis against thrash), re-sharding by quiescing the
-// workers at a barrier and republishing a consistent snapshot into a fresh
-// sharded cell. The S-trajectory lands in Result.ShardTrajectory (`leashed
-// run autotune`, `leashed train -autoshard`, BenchmarkAutoShard). MaxUpdates
-// budgets are exact: workers reserve budget units atomically before an
-// update becomes visible, so every bounded run ends with TotalUpdates ==
+// Config.AutoTune closes that loop on both contention dials jointly
+// (Config.AutoShard remains as its compatibility alias): a controller
+// hill-climbs the (Tp, S) grid in coordinate descent, the shard count
+// steered by the windowed failed-CAS rate per publish (doubling under
+// contention, halving when uncontended) and the persistence bound by the
+// windowed mixed-version read rate (tightening the leash under mixed-read
+// pressure, loosening it when reads are clean), each axis guarded by
+// move-evaluation hysteresis against thrash. A Tp move is an atomic bound
+// swap; a re-shard quiesces the workers at a barrier and republishes a
+// consistent snapshot into a fresh cell. The trajectories land in
+// Result.ShardTrajectory and Result.TpTrajectory (`leashed run jointtune`,
+// `leashed train -autotune`, BenchmarkJointAutotune). MaxUpdates budgets
+// are exact: workers reserve budget units atomically before an update
+// becomes visible, so every bounded run ends with TotalUpdates ==
 // MaxUpdates — the deterministic-replay contract.
 //
 // Quick start:
