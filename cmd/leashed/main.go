@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	leashed run <step> [flags]     run one step: s1, s1-eta, s2, s3, s4, s5, fig9, shards, autotune, jointtune
+//	leashed run <step> [flags]     run one step: s1, s1-eta, s2, s3, s4, s5, fig9, shards, autotune, jointtune, serveload
 //	leashed run-all [flags]        run every step at the configured scale
+//	leashed serve [flags]          HTTP prediction server over a live training run
 //	leashed table1                 print the experiment-plan summary
 //
 // Flags:
@@ -45,6 +46,9 @@ func main() {
 		return
 	case "train":
 		runTrain(os.Args[2:])
+		return
+	case "serve":
+		runServe(os.Args[2:])
 		return
 	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -117,7 +121,7 @@ func main() {
 		}
 	}
 
-	steps := []string{"s1", "s1-eta", "s2", "s3", "s4", "s5", "fig9", "shards", "autotune", "jointtune"}
+	steps := []string{"s1", "s1-eta", "s2", "s3", "s4", "s5", "fig9", "shards", "autotune", "jointtune", "serveload"}
 	if cmd == "run" {
 		if fs.NArg() != 1 {
 			fmt.Fprintf(os.Stderr, "run needs exactly one step (%s)\n", strings.Join(steps, ", "))
@@ -189,6 +193,11 @@ func runStep(step string, sc harness.Scale, threads, shardCounts []int, emit fun
 		m := threads[len(threads)-1] * 2
 		sweep, auto := harness.JointTuneCompare(sc, m, []int{16, 4, 1, 0}, shardCounts)
 		emit(sweep, auto)
+	case "serveload":
+		// Online-inference load sweep: closed-loop predict clients against a
+		// live autotuned training run, reporting throughput, tail latency,
+		// coalescing factor and the consistency-label mix.
+		emit(harness.ServeLoadSweep(sc, mid(threads), []int{1, 4, 16}, sc.MaxTime/4))
 	case "fig9":
 		archs := []harness.Arch{harness.SmallMLP, harness.SmallCNN}
 		if sc.Arch == harness.PaperMLP || sc.Arch == harness.PaperCNN {
@@ -246,9 +255,10 @@ func parseArch(s string) (harness.Arch, error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  leashed run <s1|s1-eta|s2|s3|s4|s5|fig9|shards|autotune|jointtune> [flags]
+  leashed run <s1|s1-eta|s2|s3|s4|s5|fig9|shards|autotune|jointtune|serveload> [flags]
   leashed run-all [flags]
   leashed train [-algo LSH] [-arch mlp] [-workers N] [-shards S] [-autoshard] [-autotune] [-json] [-ckpt FILE] ...
+  leashed serve [-addr HOST:PORT] [-arch mlp] [-workers N] [-budget DUR] [-max-batch N] [-max-delay DUR] ...
   leashed table1
 flags: -scale small|paper -arch A -threads 1,2,4 -trials N -budget DUR -shards 1,2,4,8 -csv FILE`)
 }

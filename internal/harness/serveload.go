@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"leashedsgd/internal/rng"
+	"leashedsgd/internal/report"
+	"leashedsgd/internal/serve"
+	"leashedsgd/internal/sgd"
+)
+
+// ServeLoadSweep is the serving-tier load experiment: for each client count,
+// start a live autotuned Leashed training run, stand a serve.Server on top
+// of it, and drive closed-loop predict load for perCell. The table reports
+// the read-dominated side of the system — throughput, p50/p99 latency, the
+// coalescing factor, and the consistency-label mix of what was served while
+// the workers were publishing and the controller re-sharding underneath.
+func ServeLoadSweep(sc Scale, workers int, clients []int, perCell time.Duration) *report.Table {
+	tbl := report.NewTable(
+		fmt.Sprintf("Serve load: %s, %d training workers, %v per cell", sc.Arch, workers, perCell),
+		"clients", "qps", "p50 ms", "p99 ms", "mean batch", "consistent", "mixed", "retired", "final")
+	for _, c := range clients {
+		st := runServeCell(sc, workers, c, perCell)
+		total := float64(st.Requests)
+		frac := func(n int64) string {
+			if total == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f%%", 100*float64(n)/total)
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", c),
+			fmt.Sprintf("%.0f", total/perCell.Seconds()),
+			fmt.Sprintf("%.2f", float64(st.P50)/float64(time.Millisecond)),
+			fmt.Sprintf("%.2f", float64(st.P99)/float64(time.Millisecond)),
+			fmt.Sprintf("%.1f", st.MeanBatch),
+			frac(st.Consistent),
+			frac(st.Mixed),
+			frac(st.RetiredEpoch),
+			frac(st.Final),
+		)
+	}
+	return tbl
+}
+
+// runServeCell runs one cell: training for at least perCell (stopped early
+// once the load window closes), closed-loop clients each issuing the next
+// predict as soon as the previous answer lands.
+func runServeCell(sc Scale, workers, clients int, perCell time.Duration) serve.Stats {
+	net, ds := sc.Arch.build(sc.Samples, sc.Seed)
+	cfg := sgd.Config{
+		Algo:        sgd.Leashed,
+		Workers:     workers,
+		Eta:         sc.Eta,
+		BatchSize:   sc.BatchSize,
+		Persistence: sgd.PersistenceInf,
+		Seed:        sc.Seed,
+		EpsilonFrac: 0,                      // profile run
+		MaxTime:     perCell + 10*time.Second, // Stop ends it; this is a backstop
+		EvalEvery:   sc.EvalEvery,
+		AutoTune:    true,
+	}
+	run, err := sgd.Start(cfg, net, ds)
+	if err != nil {
+		panic(err) // harness misconfiguration, like the other sweeps
+	}
+	srv, err := serve.New(net, run, serve.Config{})
+	if err != nil {
+		run.Stop()
+		run.Wait()
+		panic(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rng.NewStream(sc.Seed, c)
+			x := make([]float64, net.InDim())
+			for i := range x {
+				x[i] = r.Float64()
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := srv.Predict(x); err != nil {
+					return
+				}
+			}
+		}(c)
+	}
+	time.Sleep(perCell)
+	close(stop)
+	wg.Wait()
+	stats := srv.Stats()
+	srv.Close()
+	run.Stop()
+	run.Wait()
+	return stats
+}

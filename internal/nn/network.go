@@ -228,22 +228,7 @@ func (n *Network) Forward(params, x []float64, ws *Workspace) []float64 {
 // softmaxCE computes softmax probabilities of logits into probs and returns
 // the cross-entropy loss against label y.
 func softmaxCE(logits, probs []float64, y int) float64 {
-	maxv := logits[0]
-	for _, v := range logits[1:] {
-		if v > maxv {
-			maxv = v
-		}
-	}
-	var sum float64
-	for i, v := range logits {
-		e := math.Exp(v - maxv)
-		probs[i] = e
-		sum += e
-	}
-	inv := 1 / sum
-	for i := range probs {
-		probs[i] *= inv
-	}
+	SoftmaxInto(logits, probs)
 	p := probs[y]
 	if p < 1e-300 {
 		p = 1e-300

@@ -37,6 +37,10 @@ type Pool struct {
 	// poison, when set (tests only), overwrites reclaimed buffers with NaN
 	// so that any use-after-recycle read is detectable downstream.
 	poison bool
+	// dead marks a retired pool (guarded by mu): buffers returned after
+	// retirement are dropped for the garbage collector instead of parked on
+	// a free list nothing will ever check out of again.
+	dead bool
 }
 
 // SetPoison enables test-mode poisoning of reclaimed buffers. Call before
@@ -83,7 +87,9 @@ func (p *Pool) getBuffer() []float64 {
 	return buf
 }
 
-// putBuffer returns a buffer to the free list.
+// putBuffer returns a buffer to the free list, or drops it when the pool has
+// been retired (a late lease release against a dead epoch must not park
+// memory forever).
 func (p *Pool) putBuffer(buf []float64) {
 	if p.poison {
 		nan := math.NaN()
@@ -93,7 +99,19 @@ func (p *Pool) putBuffer(buf []float64) {
 	}
 	p.live.Add(-1)
 	p.mu.Lock()
-	p.free = append(p.free, buf)
+	if !p.dead {
+		p.free = append(p.free, buf)
+	}
+	p.mu.Unlock()
+}
+
+// Retire marks the pool dead and drains its free list. Outstanding buffers
+// (e.g. protected by a still-held lease) stay valid; once returned they are
+// released to the garbage collector rather than recycled.
+func (p *Pool) Retire() {
+	p.mu.Lock()
+	p.dead = true
+	p.free = nil
 	p.mu.Unlock()
 }
 
@@ -223,9 +241,10 @@ func (v *Vector) Release() {
 // in store mode — with its own pool and dimension — implementing the full
 // ParamStore interface (see store.go).
 type Shared struct {
-	p    atomic.Pointer[Vector]
-	pool *Pool
-	dim  int
+	p       atomic.Pointer[Vector]
+	pool    *Pool
+	dim     int
+	retired atomic.Bool
 }
 
 // Publish installs v unconditionally (initialization only).

@@ -164,3 +164,137 @@ func TestRaceShardedPublishRecycle(t *testing.T) {
 		t.Fatal("shard pools never reused a buffer")
 	}
 }
+
+// TestRaceSnapshotVsOutsideLeases models the serving tier: lease-holders
+// OUTSIDE the publishing worker pool hold zero-copy leases across many
+// publishes (a batched inference pass is much longer than a gradient read)
+// while publishers run LAU-SPC rounds and a monitor goroutine takes
+// Snapshot/SnapshotConsistent. The snapshot quiesce assumptions must survive
+// readers it does not know about: every snapshot segment stays internally
+// uniform (marker invariant, never torn), consistent snapshots agree with
+// their seqs, and leased views never observe poison. Finally the store is
+// retired WHILE one lease is still held — the late release must drain the
+// gauges to zero and label itself.
+func TestRaceSnapshotVsOutsideLeases(t *testing.T) {
+	const dim = 64
+	for _, tc := range storeCases(dim) {
+		t.Run(tc.name, func(t *testing.T) {
+			st := tc.build()
+			st.SetPoison(true)
+			st.PublishInit(make([]float64, dim))
+			iters := stressIters(t, 1500)
+
+			var pubWG sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				pubWG.Add(1)
+				go func(w int) {
+					defer pubWG.Done()
+					for i := 0; i < iters; i++ {
+						publishChain(st, w, 1)
+					}
+				}(w)
+			}
+			quiesced := make(chan struct{})
+			go func() { pubWG.Wait(); close(quiesced) }()
+
+			// Outside lease-holders: hold each lease across a simulated
+			// long read (several full-view scans), then validate.
+			var leaseWG sync.WaitGroup
+			var mixed atomic.Int64
+			for r := 0; r < 3; r++ {
+				leaseWG.Add(1)
+				go func() {
+					defer leaseWG.Done()
+					var l Lease
+					for done := false; !done; {
+						select {
+						case <-quiesced:
+							done = true
+						default:
+						}
+						view := l.Acquire(st)
+						for pass := 0; pass < 3; pass++ {
+							for c := 0; c < st.Chains(); c++ {
+								rng := st.ChainRange(c)
+								want := view.At(rng.Lo)
+								if math.IsNaN(want) {
+									t.Errorf("leased read hit a recycled buffer")
+									l.Release()
+									return
+								}
+								for j := rng.Lo; j < rng.Hi; j++ {
+									if got := view.At(j); got != want {
+										t.Errorf("torn leased segment: chain %d has %v at %d, %v at %d",
+											c, want, rng.Lo, got, j)
+										l.Release()
+										return
+									}
+								}
+							}
+						}
+						if !l.Release() {
+							mixed.Add(1)
+						}
+					}
+				}()
+			}
+
+			// Monitor: snapshots concurrent with both publishers and the
+			// outside lease-holders.
+			dst := make([]float64, dim)
+			var seqs []int64
+			snaps := 0
+			for done := false; !done; snaps++ {
+				select {
+				case <-quiesced:
+					done = true
+				default:
+				}
+				seqs = st.Snapshot(dst, seqs)
+				for c := 0; c < st.Chains(); c++ {
+					r := st.ChainRange(c)
+					want := dst[r.Lo]
+					if want != float64(seqs[c]) {
+						t.Fatalf("snap %d chain %d: segment value %v does not match seq %d", snaps, c, want, seqs[c])
+					}
+					for j := r.Lo; j < r.Hi; j++ {
+						if dst[j] != want {
+							t.Fatalf("snap %d chain %d: torn segment (%v at %d, %v at %d)",
+								snaps, c, want, r.Lo, dst[j], j)
+						}
+					}
+				}
+				if snaps%8 == 0 {
+					if _, ok := st.SnapshotConsistent(dst, 6); ok {
+						want := dst[0]
+						for j := range dst {
+							if dst[j] != want && st.Chains() == 1 {
+								t.Fatalf("inconsistent consistent-snapshot at %d", j)
+							}
+						}
+					}
+				}
+			}
+			leaseWG.Wait()
+
+			// Retire with one lease still held: the held buffers survive
+			// until release, then everything drains.
+			var l Lease
+			view := l.Acquire(st)
+			st.Retire()
+			if math.IsNaN(view.At(0)) || math.IsNaN(view.At(dim-1)) {
+				t.Fatal("held lease poisoned by Retire")
+			}
+			if l.Release() {
+				t.Fatal("lease spanning Retire classified consistent")
+			}
+			if !l.RetiredStore() {
+				t.Fatal("RetiredStore() = false after retire-spanning release")
+			}
+			if got := st.Live(); got != 0 {
+				t.Fatalf("Live = %d after final release, want 0", got)
+			}
+			t.Logf("snapshots=%d mixedLeases=%d", snaps, mixed.Load())
+		})
+	}
+}

@@ -2,6 +2,7 @@ package paramvec
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // Range is a half-open index interval [Lo, Hi) of the flat parameter vector
@@ -65,8 +66,9 @@ type shardCell struct {
 // With S = 1 the structure degenerates to exactly one Shared chain and the
 // original single-pointer semantics.
 type ShardedShared struct {
-	cells []shardCell
-	dim   int
+	cells   []shardCell
+	dim     int
+	retired atomic.Bool
 }
 
 // NewSharded builds a sharded publication cell for a dim-dimensional vector
@@ -247,13 +249,22 @@ func (ss *ShardedShared) Reuses() int64 {
 	return n
 }
 
-// Retire marks every shard's published vector stale and offers it for
-// recycling (end-of-run cleanup so the pool gauges drain to zero once the
-// last reader leaves).
+// Retire marks the store retired, drains every shard pool's free list, and
+// marks each shard's published vector stale and offered for recycling
+// (end-of-run cleanup and the autotuner's epoch swap; the pool gauges drain
+// to zero once the last reader leaves). The retired flag is set before any
+// head goes stale — see (*Shared).Retire.
 func (ss *ShardedShared) Retire() {
+	ss.retired.Store(true)
+	for s := range ss.cells {
+		ss.cells[s].pool.Retire()
+	}
 	for s := range ss.cells {
 		v := ss.cells[s].shared.Peek()
 		v.MarkStale()
 		v.SafeDelete()
 	}
 }
+
+// Retired reports whether the store has been retired.
+func (ss *ShardedShared) Retired() bool { return ss.retired.Load() }

@@ -52,9 +52,17 @@ type ParamStore interface {
 	Allocs() int64
 	Reuses() int64
 	// Retire marks every chain's published vector stale and offers it for
-	// recycling (end-of-run cleanup: the gauges drain to zero once the
-	// last reader leaves).
+	// recycling, and marks the store itself retired (end-of-run cleanup and
+	// the autotuner's epoch swap: the gauges drain to zero once the last
+	// reader leaves). After Retire, new Lease.Acquire calls panic — the
+	// latest-pointer loop on an all-stale chain would never terminate — and
+	// buffers released by late lease holders are dropped, not recycled into
+	// the dead pools.
 	Retire()
+	// Retired reports whether Retire has run. A lease that was acquired
+	// before and released after retirement uses this to label itself as a
+	// read of a dead epoch (Lease.RetiredStore).
+	Retired() bool
 	// SetPoison enables buffer poisoning on every chain pool (tests only).
 	SetPoison(on bool)
 }
@@ -159,12 +167,23 @@ func (s *Shared) Allocs() int64 { return s.pool.Allocs() }
 // Reuses returns the store pool's free-list reuse count.
 func (s *Shared) Reuses() int64 { return s.pool.Reuses() }
 
-// Retire marks the published vector stale and offers it for recycling.
+// Retire marks the store retired, drains its pool's free list, and marks the
+// published vector stale and offered for recycling. The retired flag is set
+// BEFORE the head goes stale so a concurrent Acquire either sees the flag and
+// panics, or wins the race and leases a still-valid head under read
+// protection.
 func (s *Shared) Retire() {
+	s.retired.Store(true)
+	if s.pool != nil {
+		s.pool.Retire()
+	}
 	v := s.Peek()
 	v.MarkStale()
 	v.SafeDelete()
 }
+
+// Retired reports whether the store has been retired.
+func (s *Shared) Retired() bool { return s.retired.Load() }
 
 // SetPoison enables poisoning on the store pool (tests only).
 func (s *Shared) SetPoison(on bool) { s.pool.SetPoison(on) }
@@ -188,20 +207,29 @@ func (s *Shared) SetPoison(on bool) { s.pool.SetPoison(on) }
 // A Lease is owned by one goroutine; after the first Acquire, re-Acquiring
 // with an unchanged chain count performs no allocation.
 type Lease struct {
-	store ParamStore
-	vecs  []*Vector
-	segs  [][]float64
-	offs  []int
-	seqs  []int64
-	adv   []int // chains whose head advanced during the last released lease
-	held  bool
+	store   ParamStore
+	vecs    []*Vector
+	segs    [][]float64
+	offs    []int
+	seqs    []int64
+	adv     []int // chains whose head advanced during the last released lease
+	held    bool
+	retired bool // the last released lease outlived its store's retirement
 }
 
 // Acquire leases every chain's latest vector from st and returns the
-// zero-copy View over the published segments.
+// zero-copy View over the published segments. st must not be retired:
+// acquiring from a retired store would spin forever in the latest-pointer
+// loop (every head is stale, and nothing will ever replace it) or worse,
+// surface a reclaimed buffer — so it panics instead. Callers that race with
+// retirement (the serving tier vs. the autotuner's epoch swap) must pin the
+// store before acquiring, e.g. under the epoch lock.
 func (l *Lease) Acquire(st ParamStore) View {
 	if l.held {
 		panic("paramvec: Lease.Acquire while held")
+	}
+	if st.Retired() {
+		panic("paramvec: Lease.Acquire on retired store")
 	}
 	c := st.Chains()
 	if cap(l.vecs) < c {
@@ -236,17 +264,24 @@ func (l *Lease) Acquire(st ParamStore) View {
 // Release validates and drops the lease, reporting whether the leased view
 // was provably a consistent global state: true when no chain published
 // between Acquire and Release (single-chain leases are always consistent —
-// one immutable vector). The validation walk records every chain whose head
-// advanced — the per-chain staleness accounting AdvancedChains exposes. The
-// recorded sequence numbers (Seq) stay valid after Release; the View does
-// not. Release performs no allocation once the advanced-chain slice has
-// grown to the store's chain count.
+// one immutable vector) AND the store is still live. A lease that outlived
+// its store's retirement (an autotune re-shard or end-of-run swept the epoch
+// away mid-read) is never classified consistent — the buffers were valid for
+// the whole window, but they no longer describe the live state; RetiredStore
+// reports this case distinctly. The validation walk records every chain
+// whose head advanced — the per-chain staleness accounting AdvancedChains
+// exposes. The recorded sequence numbers (Seq) stay valid after Release; the
+// View does not. Release performs no allocation once the advanced-chain
+// slice has grown to the store's chain count, and dropping the last lease on
+// a retired store frees its buffers instead of recycling them into the dead
+// pools.
 func (l *Lease) Release() bool {
 	if !l.held {
 		panic("paramvec: Lease.Release without Acquire")
 	}
 	l.held = false
 	l.adv = l.adv[:0]
+	l.retired = l.store.Retired()
 	if len(l.vecs) > 1 {
 		for c, v := range l.vecs {
 			if l.store.ChainPeek(c) != v {
@@ -258,8 +293,12 @@ func (l *Lease) Release() bool {
 		v.StopReading()
 		l.vecs[i] = nil
 	}
-	return len(l.adv) == 0
+	return len(l.adv) == 0 && !l.retired
 }
+
+// RetiredStore reports whether the last released lease outlived its store's
+// retirement. Valid until the next Release.
+func (l *Lease) RetiredStore() bool { return l.retired }
 
 // AdvancedChains returns the chains whose published head advanced during the
 // window of the last released lease — empty exactly when that read was

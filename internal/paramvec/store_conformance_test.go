@@ -312,3 +312,81 @@ func TestStoreConformancePublishRecycleRace(t *testing.T) {
 		})
 	}
 }
+
+// A lease acquired before Retire and released after it — the serving tier
+// racing the autotuner's epoch swap or end-of-run cleanup. The leased
+// buffers must stay valid for the whole window, the release must NOT be
+// classified consistent (the epoch is dead), and the buffers must be freed
+// rather than recycled into the dead pools. Acquiring after Retire must
+// panic instead of livelocking in the latest-pointer loop.
+func TestStoreConformanceLeaseAcrossRetire(t *testing.T) {
+	const dim = 64
+	for _, tc := range storeCases(dim) {
+		t.Run(tc.name, func(t *testing.T) {
+			st := tc.build()
+			st.SetPoison(true)
+			theta := make([]float64, dim)
+			for i := range theta {
+				theta[i] = float64(i)
+			}
+			st.PublishInit(theta)
+
+			var l Lease
+			view := l.Acquire(st)
+			st.Retire()
+			if !st.Retired() {
+				t.Fatal("Retired() = false after Retire")
+			}
+			// The held lease protects every leased buffer: values intact,
+			// no poison.
+			for i := 0; i < dim; i++ {
+				if got := view.At(i); got != float64(i) {
+					t.Fatalf("leased value [%d] = %v after Retire, want %v", i, got, float64(i))
+				}
+			}
+			if l.Release() {
+				t.Fatal("lease spanning Retire classified consistent")
+			}
+			if !l.RetiredStore() {
+				t.Fatal("RetiredStore() = false for a lease released after Retire")
+			}
+			// Releasing the last lease drains the gauges even though the
+			// pools are dead: buffers are dropped, not parked on a free
+			// list nothing will check out of again.
+			if got := st.Live(); got != 0 {
+				t.Fatalf("Live = %d after final release on retired store, want 0", got)
+			}
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatal("Acquire on a retired store did not panic")
+					}
+				}()
+				l.Acquire(st)
+			}()
+		})
+	}
+}
+
+// Pool.Retire drains the free list and drops later returns instead of
+// parking them.
+func TestPoolRetireDropsBuffers(t *testing.T) {
+	p := NewPool(8)
+	a := p.getBuffer()
+	b := p.getBuffer()
+	p.putBuffer(a)
+	if len(p.free) != 1 {
+		t.Fatalf("free list has %d buffers before Retire, want 1", len(p.free))
+	}
+	p.Retire()
+	if len(p.free) != 0 {
+		t.Fatalf("free list has %d buffers after Retire, want 0", len(p.free))
+	}
+	p.putBuffer(b)
+	if len(p.free) != 0 {
+		t.Fatalf("free list has %d buffers after post-Retire put, want 0", len(p.free))
+	}
+	if got := p.Live(); got != 0 {
+		t.Fatalf("Live = %d after both buffers returned, want 0", got)
+	}
+}

@@ -12,6 +12,11 @@ import "fmt"
 // Views are value types holding slice headers only; copying a View never
 // copies parameter data. A View is valid exactly as long as the underlying
 // buffers are: for leased views, until the lease is released.
+//
+// The zero View (and any zero-length view, e.g. FlatView(nil)) is
+// well-defined: Len is 0, empty-range accessors succeed, and out-of-range
+// indices panic with ordinary bounds errors rather than underflowing the
+// segment search.
 type View struct {
 	// flat is the single-segment fast path. When non-nil, segs/offs are
 	// ignored.
@@ -29,8 +34,12 @@ func FlatView(x []float64) View { return View{flat: x} }
 
 // SegmentedView builds a View over segments with cumulative offsets. offs
 // must have len(segs)+1 entries with offs[0] == 0 and each segment's length
-// matching its interval. The slices are aliased, not copied.
+// matching its interval. The slices are aliased, not copied. Zero segments
+// (with offs empty or exactly {0}) yields the empty View.
 func SegmentedView(segs [][]float64, offs []int) View {
+	if len(segs) == 0 && len(offs) == 0 {
+		return View{}
+	}
 	if len(offs) != len(segs)+1 || (len(offs) > 0 && offs[0] != 0) {
 		panic("paramvec: SegmentedView offsets malformed")
 	}
@@ -83,7 +92,7 @@ func (v View) segIndex(pos int) int {
 // nil, false when the range spans segments (callers fall back to Tail
 // iteration or Gather). An empty range is trivially contiguous.
 func (v View) Slice(lo, hi int) ([]float64, bool) {
-	if v.flat != nil {
+	if v.flat != nil || len(v.segs) == 0 {
 		return v.flat[lo:hi], true
 	}
 	if lo == hi {
@@ -106,7 +115,7 @@ func (v View) Slice(lo, hi int) ([]float64, bool) {
 //		pos += len(piece)
 //	}
 func (v View) Tail(pos, hi int) []float64 {
-	if v.flat != nil {
+	if v.flat != nil || len(v.segs) == 0 {
 		return v.flat[pos:hi]
 	}
 	i := v.segIndex(pos)
@@ -123,7 +132,7 @@ func (v View) Tail(pos, hi int) []float64 {
 // with a pre-sized dst it performs no allocation.
 func (v View) Gather(lo, hi int, dst []float64) []float64 {
 	dst = dst[:hi-lo]
-	if v.flat != nil {
+	if v.flat != nil || len(v.segs) == 0 {
 		copy(dst, v.flat[lo:hi])
 		return dst
 	}
@@ -140,7 +149,7 @@ func (v View) Gather(lo, hi int, dst []float64) []float64 {
 // At returns element i. Convenience for tests and cold paths; hot kernels
 // use Slice/Tail.
 func (v View) At(i int) float64 {
-	if v.flat != nil {
+	if v.flat != nil || len(v.segs) == 0 {
 		return v.flat[i]
 	}
 	s := v.segIndex(i)

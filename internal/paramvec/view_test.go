@@ -1,0 +1,73 @@
+package paramvec
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression: empty views used to fall through the flat-path guard into the
+// segmented branch, where segIndex over zero segments returned 0 and the
+// accessors indexed nil offs/segs and panicked. Every zero-length view must
+// behave exactly like a flat view over nil.
+func TestEmptyViewWellDefined(t *testing.T) {
+	cases := []struct {
+		name string
+		v    View
+	}{
+		{"zero", View{}},
+		{"flat-nil", FlatView(nil)},
+		{"flat-empty", FlatView([]float64{})},
+		{"segmented-nil-nil", SegmentedView(nil, nil)},
+		{"segmented-nil-offs0", SegmentedView(nil, []int{0})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := tc.v
+			if got := v.Len(); got != 0 {
+				t.Fatalf("Len() = %d, want 0", got)
+			}
+			if s, ok := v.Slice(0, 0); !ok || len(s) != 0 {
+				t.Fatalf("Slice(0,0) = %v, %v; want empty, true", s, ok)
+			}
+			if tail := v.Tail(0, 0); len(tail) != 0 {
+				t.Fatalf("Tail(0,0) = %v, want empty", tail)
+			}
+			dst := make([]float64, 4)
+			if got := v.Gather(0, 0, dst); len(got) != 0 {
+				t.Fatalf("Gather(0,0) = %v, want empty", got)
+			}
+			// Out-of-range access panics with an ordinary bounds error
+			// instead of underflowing the segment search.
+			mustPanic(t, "At(0) on empty view", func() { v.At(0) })
+			mustPanic(t, "Slice(0,1) on empty view", func() { _, _ = v.Slice(0, 1) })
+			mustPanic(t, "Tail(0,1) on empty view", func() { v.Tail(0, 1) })
+		})
+	}
+}
+
+// An empty view composes with the generic consumers (Gather loop bounds,
+// NaN scans) without special-casing at call sites.
+func TestEmptyViewGatherLoop(t *testing.T) {
+	v := FlatView(nil)
+	sum := 0.0
+	for pos := 0; pos < v.Len(); {
+		piece := v.Tail(pos, v.Len())
+		for _, x := range piece {
+			sum += x
+		}
+		pos += len(piece)
+	}
+	if sum != 0 || math.IsNaN(sum) {
+		t.Fatalf("empty view iteration produced %v", sum)
+	}
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}

@@ -141,6 +141,32 @@ func (r Regression) String() string {
 	return fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%)", r.Name, r.Metric, r.Base, r.New, r.Pct)
 }
 
+// BestOf collapses repeated records of the same benchmark (from go test
+// -count=N) into the single fastest run by ns/op. On shared CI runners the
+// timing noise is one-sided — interference only ever makes a run slower —
+// so the minimum is the least-interfered measurement and the right value to
+// gate on. Records without ns/op (or first occurrences) are kept as-is;
+// relative order of distinct benchmarks is preserved.
+func (rep *BenchReport) BestOf() {
+	idx := make(map[string]int, len(rep.Benchmarks))
+	out := rep.Benchmarks[:0]
+	for _, b := range rep.Benchmarks {
+		key := b.Pkg + "." + b.Name
+		i, seen := idx[key]
+		if !seen {
+			idx[key] = len(out)
+			out = append(out, b)
+			continue
+		}
+		nv, okNew := b.Metrics["ns/op"]
+		ov, okOld := out[i].Metrics["ns/op"]
+		if okNew && (!okOld || nv < ov) {
+			out[i] = b
+		}
+	}
+	rep.Benchmarks = out
+}
+
 // CompareBench is the CI perf-regression gate: it checks rep against base
 // and returns every violation. Two rules:
 //

@@ -49,6 +49,37 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+// -count=N repetitions collapse to the fastest run per benchmark; distinct
+// benchmarks keep their order and records without ns/op survive untouched.
+func TestBestOf(t *testing.T) {
+	rep := &BenchReport{Benchmarks: []BenchResult{
+		{Pkg: "p", Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 300, "batch": 4}},
+		{Pkg: "p", Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 50}},
+		{Pkg: "p", Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 100, "batch": 8}},
+		{Pkg: "q", Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 999}},
+		{Pkg: "p", Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 200}},
+		{Pkg: "p", Name: "BenchmarkC", Metrics: map[string]float64{"allocs/op": 0}},
+	}}
+	rep.BestOf()
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("collapsed to %d records, want 4: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	a := rep.Benchmarks[0]
+	if a.Pkg != "p" || a.Name != "BenchmarkA" || a.Metrics["ns/op"] != 100 {
+		t.Fatalf("best p.BenchmarkA = %+v, want the 100 ns/op run", a)
+	}
+	// The winning record is kept whole — its sibling metrics come along.
+	if a.Metrics["batch"] != 8 {
+		t.Fatalf("winner's extra metrics = %v", a.Metrics)
+	}
+	if rep.Benchmarks[1].Name != "BenchmarkB" || rep.Benchmarks[2].Pkg != "q" {
+		t.Fatalf("order not preserved: %+v", rep.Benchmarks)
+	}
+	if rep.Benchmarks[3].Name != "BenchmarkC" {
+		t.Fatalf("ns/op-less record dropped: %+v", rep.Benchmarks)
+	}
+}
+
 func TestWriteBenchJSONRoundTrip(t *testing.T) {
 	rep, err := ParseBench(strings.NewReader(sampleBenchOutput))
 	if err != nil {

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"leashedsgd/internal/nn"
+	"leashedsgd/internal/rng"
+)
+
+func benchFixture(b *testing.B, cfg Config) (*nn.Network, *Server) {
+	b.Helper()
+	net := nn.NewSmallMLP(28*28, 10)
+	params := make([]float64, net.ParamCount())
+	net.Init(params, rng.New(9), nn.DefaultSigma)
+	s, err := New(net, StaticSource(params), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return net, s
+}
+
+// BenchmarkServePredictLatency is the single-client floor: sequential
+// predicts with coalescing disabled, so every request pays one lease + one
+// B=1 forward. p50/p99 land as extra metrics for BENCH_6.
+func BenchmarkServePredictLatency(b *testing.B) {
+	net, s := benchFixture(b, Config{MaxDelay: -1})
+	x := make([]float64, net.InDim())
+	for i := range x {
+		x[i] = float64(i%17) / 17
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Predict(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := s.Stats()
+	b.ReportMetric(float64(st.P50)/float64(time.Microsecond), "p50-us")
+	b.ReportMetric(float64(st.P99)/float64(time.Microsecond), "p99-us")
+}
+
+// BenchmarkServeThroughputBatched is the coalescing path under concurrent
+// load: a fixed pool of 8 closed-loop clients (fixed, not GOMAXPROCS, so the
+// batch sizes are comparable across machines) splits b.N requests, and the
+// dispatcher folds them into shared ForwardBatch calls. The mean batch size
+// and aggregate request rate land as extra metrics.
+func BenchmarkServeThroughputBatched(b *testing.B) {
+	net, s := benchFixture(b, Config{MaxBatch: 32, MaxDelay: 200 * time.Microsecond})
+	const clients = 8
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		n := b.N / clients
+		if c < b.N%clients {
+			n++
+		}
+		wg.Add(1)
+		go func(c, n int) {
+			defer wg.Done()
+			x := make([]float64, net.InDim())
+			for i := range x {
+				x[i] = float64((c+i)%13) / 13
+			}
+			for i := 0; i < n; i++ {
+				if _, err := s.Predict(x); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	st := s.Stats()
+	b.ReportMetric(st.MeanBatch, "batch")
+	if el := b.Elapsed(); el > 0 {
+		b.ReportMetric(float64(st.Requests)/el.Seconds(), "req/s")
+	}
+}

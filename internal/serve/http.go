@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// maxBodyBytes bounds a predict request body (an input vector as JSON; the
+// paper architectures take 784 floats, so 1MB is generous).
+const maxBodyBytes = 1 << 20
+
+// Handler returns the server's HTTP surface:
+//
+//	POST /predict  {"x": [..input floats..]} → Prediction JSON
+//	GET  /stats    → Stats JSON
+//	GET  /healthz  → 200 "ok"
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})
+	return mux
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		X []float64 `json:"x"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	pred, err := s.Predict(req.X)
+	switch {
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(pred)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"requests":      st.Requests,
+		"batches":       st.Batches,
+		"mean_batch":    st.MeanBatch,
+		"p50_ms":        float64(st.P50) / float64(time.Millisecond),
+		"p99_ms":        float64(st.P99) / float64(time.Millisecond),
+		"max_ms":        float64(st.MaxLatency) / float64(time.Millisecond),
+		"consistent":    st.Consistent,
+		"mixed":         st.Mixed,
+		"retired_epoch": st.RetiredEpoch,
+		"final":         st.Final,
+		"copied":        st.Copied,
+	})
+}

@@ -1,0 +1,381 @@
+// Package serve is the online inference tier: it answers predict requests
+// against the LIVE parameters of a training run — the natural consumer of
+// the paper's bounded-staleness read guarantee. Requests are coalesced by a
+// small batcher (max-batch + max-delay) into one blocked-GEMM forward chain
+// (nn.ForwardBatch) per batch, computed against a zero-copy leased view of
+// the published ParamStore (paramvec.Lease via sgd.Running.ReadParams), so
+// serving a batch costs one leased read regardless of batch size and never
+// blocks the workers' LAU-SPC publishes or the autotuner's re-shards.
+//
+// Every prediction carries the read's consistency metadata: provably
+// consistent vs. possibly mixed-version (the seqlock classification),
+// whether the lease outlived its epoch (an autotune re-shard swept the
+// store mid-read), and whether the run had already finished (immutable
+// final parameters). Mixed-version views are legitimate under the paper's
+// model — but they are always labeled; torn reads are impossible by
+// construction (leased buffers are immutable once published).
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"leashedsgd/internal/metrics"
+	"leashedsgd/internal/nn"
+	"leashedsgd/internal/paramvec"
+	"leashedsgd/internal/sgd"
+	"leashedsgd/internal/tensor"
+)
+
+// Source supplies parameter reads to the server. *sgd.Running is the live
+// source (serve-while-train); StaticSource serves fixed parameters.
+type Source interface {
+	// Dim is the flat parameter dimension.
+	Dim() int
+	// ReadParams runs fn against a current parameter view and labels the
+	// read; see sgd.Running.ReadParams for the contract.
+	ReadParams(l *paramvec.Lease, scratch []float64, fn func(paramvec.View)) sgd.ReadMeta
+}
+
+// The live training run satisfies Source.
+var _ Source = (*sgd.Running)(nil)
+
+// StaticSource serves a fixed parameter vector (a checkpoint, or a finished
+// run's FinalParams) through the Source interface. Reads are always
+// consistent and labeled Final.
+type StaticSource []float64
+
+// Dim returns the parameter dimension.
+func (s StaticSource) Dim() int { return len(s) }
+
+// ReadParams serves the fixed vector as a flat view.
+func (s StaticSource) ReadParams(_ *paramvec.Lease, _ []float64, fn func(paramvec.View)) sgd.ReadMeta {
+	fn(paramvec.FlatView(s))
+	return sgd.ReadMeta{Consistent: true, Final: true, Chains: 1}
+}
+
+// Config are the batcher knobs.
+type Config struct {
+	// MaxBatch is the largest number of requests coalesced into one
+	// forward pass. Default 32.
+	MaxBatch int
+	// MaxDelay is how long the batcher waits for a batch to fill after
+	// the first request arrives — the latency the tail of a batch pays to
+	// amortize the leased read and the GEMM chain. Default 2ms; negative
+	// disables waiting (dispatch immediately with whatever is queued).
+	MaxDelay time.Duration
+	// Queue is the pending-request buffer size. Default 256.
+	Queue int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.Queue <= 0 {
+		c.Queue = 256
+	}
+	return c
+}
+
+// Prediction is one answered request: the argmax class, the softmax
+// distribution, and the consistency label of the parameter read that
+// produced it.
+type Prediction struct {
+	Class int       `json:"class"`
+	Probs []float64 `json:"probs"`
+	// Consistent: the read was provably one global parameter state.
+	Consistent bool `json:"consistent"`
+	// RetiredEpoch: the lease outlived its epoch (re-shard or run end
+	// mid-read); the values were valid but describe a dead epoch.
+	RetiredEpoch bool `json:"retired_epoch,omitempty"`
+	// Final: served from the immutable post-training parameters.
+	Final bool `json:"final,omitempty"`
+	// Copied: served through a snapshot copy (non-leased algorithms).
+	Copied bool `json:"copied,omitempty"`
+	// Chains the leased view spanned (1 = flat).
+	Chains int `json:"chains"`
+	// Batch is the coalesced batch size this request was served in.
+	Batch int `json:"batch"`
+}
+
+// ErrClosed is returned by Predict after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+type request struct {
+	x    []float64
+	enq  time.Time
+	resp chan result
+}
+
+type result struct {
+	pred Prediction
+	err  error
+}
+
+// Server is the request-coalescing inference server. One dispatcher
+// goroutine owns the workspace, the lease and the scratch buffer; any
+// number of goroutines may call Predict concurrently.
+type Server struct {
+	net *nn.Network
+	src Source
+	cfg Config
+
+	mu     sync.RWMutex // closed vs. in-flight Predict enqueues
+	closed bool
+	reqs   chan request
+	quit   chan struct{}
+	wg     sync.WaitGroup
+
+	stats serverStats
+}
+
+// New starts a server answering predictions for net with parameters from
+// src.
+func New(net *nn.Network, src Source, cfg Config) (*Server, error) {
+	if net.ParamCount() != src.Dim() {
+		return nil, fmt.Errorf("serve: network has %d parameters, source %d", net.ParamCount(), src.Dim())
+	}
+	s := &Server{
+		net:  net,
+		src:  src,
+		cfg:  cfg.withDefaults(),
+		reqs: make(chan request, cfg.withDefaults().Queue),
+		quit: make(chan struct{}),
+	}
+	s.stats.lat = metrics.NewHist(latencyBound)
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Close stops the dispatcher. In-flight and queued requests are answered
+// with ErrClosed; Predict calls after Close return ErrClosed immediately.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+}
+
+// Predict answers one request, blocking until its batch is served. Safe for
+// concurrent use.
+func (s *Server) Predict(x []float64) (Prediction, error) {
+	if len(x) != s.net.InDim() {
+		return Prediction{}, fmt.Errorf("serve: input has %d values, want %d", len(x), s.net.InDim())
+	}
+	r := request{x: x, enq: time.Now(), resp: make(chan result, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Prediction{}, ErrClosed
+	}
+	// Enqueue under the read lock: Close flips closed before closing
+	// quit, so the dispatcher is still draining while any send is in
+	// flight.
+	s.reqs <- r
+	s.mu.RUnlock()
+	out := <-r.resp
+	return out.pred, out.err
+}
+
+// dispatch is the batcher loop: block for the first request, then coalesce
+// until MaxBatch or MaxDelay, serve the batch through one leased read and
+// one ForwardBatch, reply per request.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	ws := s.net.NewWorkspace()
+	var lease paramvec.Lease
+	scratch := make([]float64, s.src.Dim()) // copy-read staging (non-leased sources)
+	pend := make([]request, 0, s.cfg.MaxBatch)
+	xs := make([][]float64, 0, s.cfg.MaxBatch)
+	var timer *time.Timer
+	for {
+		pend = pend[:0]
+		select {
+		case r := <-s.reqs:
+			pend = append(pend, r)
+		case <-s.quit:
+			s.drain(pend)
+			return
+		}
+		if s.cfg.MaxDelay > 0 && len(pend) < s.cfg.MaxBatch {
+			if timer == nil {
+				timer = time.NewTimer(s.cfg.MaxDelay)
+			} else {
+				timer.Reset(s.cfg.MaxDelay)
+			}
+		collect:
+			for len(pend) < s.cfg.MaxBatch {
+				select {
+				case r := <-s.reqs:
+					pend = append(pend, r)
+				case <-timer.C:
+					break collect
+				case <-s.quit:
+					s.drain(pend)
+					return
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		} else {
+			// No coalescing delay: take whatever is already queued.
+			for len(pend) < s.cfg.MaxBatch {
+				select {
+				case r := <-s.reqs:
+					pend = append(pend, r)
+				default:
+					goto serve
+				}
+			}
+		}
+	serve:
+		xs = xs[:0]
+		for _, r := range pend {
+			xs = append(xs, r.x)
+		}
+		var logits tensor.Mat
+		meta := s.src.ReadParams(&lease, scratch, func(pv paramvec.View) {
+			logits = s.net.ForwardBatch(pv, xs, ws)
+		})
+		B := len(pend)
+		now := time.Now()
+		for i, r := range pend {
+			probs := make([]float64, s.net.OutDim())
+			nn.SoftmaxInto(logits.Row(i), probs)
+			r.resp <- result{pred: Prediction{
+				Class:        tensor.ArgMax(probs),
+				Probs:        probs,
+				Consistent:   meta.Consistent,
+				RetiredEpoch: meta.Retired,
+				Final:        meta.Final,
+				Copied:       meta.Copied,
+				Chains:       meta.Chains,
+				Batch:        B,
+			}}
+		}
+		s.stats.observe(pend, now, meta)
+	}
+}
+
+// drain answers the collected and still-queued requests with ErrClosed.
+// Close flips closed before closing quit, so no new request can be enqueued
+// while drain empties the channel.
+func (s *Server) drain(pend []request) {
+	for _, r := range pend {
+		r.resp <- result{err: ErrClosed}
+	}
+	for {
+		select {
+		case r := <-s.reqs:
+			r.resp <- result{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// latencyBound caps the request-latency histogram at 10µs × 20000 = 200ms;
+// slower requests are attributed to the bound (metrics.Hist semantics).
+const (
+	latencyUnit  = 10 * time.Microsecond
+	latencyBound = 20000
+)
+
+type serverStats struct {
+	mu         sync.Mutex
+	requests   int64
+	batches    int64
+	batchSum   int64
+	consistent int64
+	mixed      int64
+	retired    int64
+	final      int64
+	copied     int64
+	lat        *metrics.Hist
+	maxLat     time.Duration
+}
+
+func (st *serverStats) observe(pend []request, now time.Time, meta sgd.ReadMeta) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.requests += int64(len(pend))
+	st.batches++
+	st.batchSum += int64(len(pend))
+	switch {
+	case meta.Final:
+		st.final += int64(len(pend))
+	case meta.Consistent:
+		st.consistent += int64(len(pend))
+	default:
+		st.mixed += int64(len(pend))
+	}
+	if meta.Retired {
+		st.retired += int64(len(pend))
+	}
+	if meta.Copied {
+		st.copied += int64(len(pend))
+	}
+	for _, r := range pend {
+		d := now.Sub(r.enq)
+		st.lat.Observe(int64(d / latencyUnit))
+		if d > st.maxLat {
+			st.maxLat = d
+		}
+	}
+}
+
+// Stats is a snapshot of the server's counters and latency distribution.
+type Stats struct {
+	// Requests answered and batches served; MeanBatch = Requests/Batches,
+	// the coalescing factor.
+	Requests  int64
+	Batches   int64
+	MeanBatch float64
+	// Request latency quantiles: enqueue to response write (queueing +
+	// coalescing delay + leased read + forward pass).
+	P50, P99, MaxLatency time.Duration
+	// Consistency labels, in requests: provably consistent live reads,
+	// possibly mixed-version live reads, reads whose lease outlived its
+	// epoch, reads of the immutable final parameters, snapshot-copy
+	// reads.
+	Consistent, Mixed, RetiredEpoch, Final, Copied int64
+}
+
+// Stats returns a snapshot of the counters since the server started.
+func (s *Server) Stats() Stats {
+	st := &s.stats
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := Stats{
+		Requests:     st.requests,
+		Batches:      st.batches,
+		P50:          time.Duration(st.lat.Quantile(0.50)) * latencyUnit,
+		P99:          time.Duration(st.lat.Quantile(0.99)) * latencyUnit,
+		MaxLatency:   st.maxLat,
+		Consistent:   st.consistent,
+		Mixed:        st.mixed,
+		RetiredEpoch: st.retired,
+		Final:        st.final,
+		Copied:       st.copied,
+	}
+	if st.batches > 0 {
+		out.MeanBatch = float64(st.batchSum) / float64(st.batches)
+	}
+	return out
+}

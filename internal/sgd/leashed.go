@@ -218,6 +218,22 @@ func (st *leashedStrategy) commit(w *loopWorker, step []float64) bool {
 	return true
 }
 
+// leaseLive implements the liveLeaser hook for readers outside the worker
+// pool (the serving tier, via Running.ReadParams): the lease is acquired
+// under the epoch pin so it can never start against a store the autotuner
+// has already retired. The pin is dropped as soon as the lease is held — a
+// long inference pass never blocks a re-shard; it just releases against a
+// retired epoch and is labeled (paramvec.Lease.RetiredStore).
+func (st *leashedStrategy) leaseLive(l *paramvec.Lease) paramvec.View {
+	if st.auto != nil {
+		st.auto.mu.RLock()
+		pv := l.Acquire(st.auto.epoch.store)
+		st.auto.mu.RUnlock()
+		return pv
+	}
+	return l.Acquire(st.epoch.store)
+}
+
 // launchAux starts the autotune controller for autotuned runs.
 func (st *leashedStrategy) launchAux(wg *sync.WaitGroup) {
 	if st.auto != nil {

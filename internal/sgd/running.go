@@ -1,0 +1,261 @@
+// Live training runs: Start launches the same machinery Run wraps, but
+// returns a handle while the workers are still publishing, so readers
+// outside the worker pool — the serving tier in internal/serve — can lease
+// the live parameters mid-run. Run is Start+Wait; every post-run
+// measurement contract is unchanged.
+package sgd
+
+import (
+	"fmt"
+	"sync"
+
+	"leashedsgd/internal/data"
+	"leashedsgd/internal/metrics"
+	"leashedsgd/internal/nn"
+	"leashedsgd/internal/paramvec"
+	"leashedsgd/internal/rng"
+)
+
+// ReadMeta labels one parameter read served by Running.ReadParams — the
+// consistency metadata a served prediction carries (the serving-tier analogue
+// of Result.ConsistentReads/MixedReads).
+type ReadMeta struct {
+	// Consistent reports that the view was provably one global state: no
+	// chain published during the read window and the store stayed live.
+	// When false the view may mix chain versions — legitimate under the
+	// paper's model, but it must be labeled.
+	Consistent bool
+	// Retired reports that the lease outlived its epoch: the autotuner
+	// re-sharded (or the run ended) while the read was in flight. The
+	// buffers were valid for the whole window but describe a dead epoch.
+	Retired bool
+	// Final reports that the run had already ended and the read was served
+	// from the immutable final parameters.
+	Final bool
+	// Copied reports that the parameters were copied through the
+	// strategy's snapshot rather than leased zero-copy (algorithms without
+	// a leased read path).
+	Copied bool
+	// Chains is the number of chains the view spanned (1 for flat reads).
+	Chains int
+}
+
+// liveLeaser is implemented by strategies whose live parameters can be
+// leased zero-copy by readers outside the worker pool (the Leashed family).
+type liveLeaser interface {
+	// leaseLive acquires l against the strategy's current publication
+	// store, pinning the epoch for the duration of the Acquire only — the
+	// caller computes against the returned view unpinned and classifies
+	// the read at Release.
+	leaseLive(l *paramvec.Lease) paramvec.View
+}
+
+// Running is a live training run started by Start. Exactly one goroutine may
+// call Wait; ReadParams and Stop are safe from any number of goroutines,
+// concurrently with the run and with each other.
+type Running struct {
+	rt *runCtx
+	st strategy
+	wg sync.WaitGroup
+
+	// readMu orders outside readers against the end-of-run store
+	// teardown: closed flips (and final is set) under the write lock
+	// BEFORE cleanup retires the store, so a reader either sees the live
+	// store or the final parameters — never a retiring store.
+	readMu sync.RWMutex
+	closed bool
+	final  []float64
+
+	res  *Result
+	done chan struct{}
+}
+
+// Start validates the configuration exactly like Run and launches the
+// workers, auxiliary goroutines and monitor, returning immediately with a
+// handle on the live run.
+func Start(cfg Config, net *nn.Network, ds *data.Dataset) (*Running, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if net.InDim() != ds.Dim() {
+		return nil, fmt.Errorf("sgd: network input %d != dataset dim %d", net.InDim(), ds.Dim())
+	}
+	if net.OutDim() != ds.Classes {
+		return nil, fmt.Errorf("sgd: network output %d != dataset classes %d", net.OutDim(), ds.Classes)
+	}
+	if cfg.Eta <= 0 {
+		return nil, fmt.Errorf("sgd: step size must be positive, got %v", cfg.Eta)
+	}
+	if cfg.AutoTune || cfg.AutoShard {
+		if cfg.Shards > 1 {
+			return nil, fmt.Errorf("sgd: AutoTune and a fixed Shards=%d are mutually exclusive", cfg.Shards)
+		}
+		if cfg.Algo != Leashed && cfg.Algo != LeashedAdaptive {
+			return nil, fmt.Errorf("sgd: AutoTune requires a Leashed variant, got %v", cfg.Algo)
+		}
+	}
+	cfg = cfg.withDefaults(ds.Len())
+	rt := newRuntime(cfg, net, ds)
+
+	// θ0 ← N(0, 0.01) (paper's rand_init).
+	initVec := paramvec.New(rt.pool)
+	initVec.RandInit(rng.New(cfg.Seed), nn.DefaultSigma)
+
+	// One store-parameterized worker loop runs every algorithm; the
+	// strategy carries what differs (read protocol, publish protocol,
+	// snapshot and cleanup). See loop.go.
+	var st strategy
+	switch cfg.Algo {
+	case Seq, Async:
+		st = rt.newAsyncStrategy(initVec)
+	case Hogwild:
+		st = rt.newHogwildStrategy(initVec)
+	case Leashed, LeashedAdaptive:
+		st = rt.newLeashedStrategy(initVec)
+	case SyncLockstep:
+		st = rt.newSyncStrategy(initVec)
+	default:
+		initVec.Release()
+		return nil, fmt.Errorf("sgd: unknown algorithm %v", cfg.Algo)
+	}
+	r := &Running{rt: rt, st: st, done: make(chan struct{})}
+	rt.runWorkers(&r.wg, st)
+	st.launchAux(&r.wg)
+	go r.finish()
+	return r, nil
+}
+
+// finish runs the monitor, quiesces the workers, closes the live-read window
+// and fills the Result — the post-launch half of the old Run body.
+func (r *Running) finish() {
+	rt, st := r.rt, r.st
+	cfg := rt.cfg
+	res := rt.monitor(st.snapshot)
+	rt.stop.Store(true)
+	rt.stopOnce.Do(func() { close(rt.stopped) })
+	r.wg.Wait()
+	// Re-snapshot after the workers have quiesced: the monitor's last
+	// snapshot can predate updates that were in flight when the stop
+	// condition fired, and FinalParams must be the true final state
+	// (e.g. exactly MaxUpdates applications for deterministic replay).
+	st.snapshot(res.FinalParams)
+	// Close the live-read window BEFORE cleanup retires the store: a
+	// reader that arrives after this serves the final parameters; a lease
+	// already in flight releases against the retired store and is labeled
+	// (paramvec.Lease.RetiredStore).
+	r.readMu.Lock()
+	r.closed = true
+	r.final = append([]float64(nil), res.FinalParams...)
+	r.readMu.Unlock()
+	st.cleanup()
+
+	// Merge per-worker instrumentation.
+	res.Staleness = metrics.NewHist(cfg.StalenessBound)
+	res.Tc, res.Tu = &metrics.DurationSampler{}, &metrics.DurationSampler{}
+	for i := 0; i < cfg.Workers; i++ {
+		res.Staleness.Merge(rt.hists[i])
+		res.Tc.Merge(rt.tcs[i])
+		res.Tu.Merge(rt.tus[i])
+	}
+	res.TotalUpdates = rt.updates.Load()
+	res.Publishes = res.TotalUpdates
+	res.PeakLiveVectors = rt.pool.Peak()
+	res.FinalLiveVectors = rt.liveVectors()
+	res.BufferAllocs = rt.pool.Allocs()
+	res.BufferReuses = rt.pool.Reuses()
+	res.Shards = rt.numShards()
+	res.ConsistentReads, res.MixedReads = rt.readTotals()
+	switch {
+	case rt.auto != nil:
+		rt.auto.fill(res)
+	case rt.epoch != nil && len(rt.epoch.pub) > 1:
+		// Sharded static run (Leashed or HOGWILD! sweeps): full
+		// per-shard breakdown.
+		rt.epoch.rollup(res)
+	case rt.epoch != nil:
+		// Single-chain static Leashed run: aggregate totals only (the
+		// Result contract keeps the Shard* slices nil).
+		rt.epoch.foldTotals(res)
+	}
+	if rt.store != nil {
+		// Fold the store's chain pools into the accounting in
+		// full-vector equivalents (per-chain peaks are an upper bound on
+		// the true simultaneous peak; allocation counts are exact).
+		peak, allocs, reuses := poolEquivalents(rt.store)
+		res.PeakLiveVectors += peak
+		res.BufferAllocs += allocs
+		res.BufferReuses += reuses
+	}
+	r.res = res
+	close(r.done)
+}
+
+// Wait blocks until the run ends (convergence, crash, budget exhaustion or
+// Stop) and returns the full measurement record.
+func (r *Running) Wait() *Result {
+	<-r.done
+	return r.res
+}
+
+// Done returns a channel closed when the run has ended and its Result is
+// ready.
+func (r *Running) Done() <-chan struct{} { return r.done }
+
+// Stop requests an early end: the workers drain, the final snapshot is taken
+// and Wait returns. Safe to call repeatedly and concurrently.
+func (r *Running) Stop() {
+	r.rt.stop.Store(true)
+	r.rt.stopOnce.Do(func() { close(r.rt.stopped) })
+}
+
+// Dim returns the flat parameter dimension d.
+func (r *Running) Dim() int { return r.rt.d }
+
+// ReadParams runs fn against a view of the current parameters and labels the
+// read. Live Leashed-family runs serve a zero-copy leased view of the
+// published store — the paper's read path, concurrent with the workers'
+// LAU-SPC publishes and the autotuner's re-shards; l is the caller's
+// reusable lease (allocation-free across calls; a nil lease gets a
+// temporary). Algorithms without a leased read path serve a copy through the
+// strategy's snapshot into scratch (grown as needed). After the run ends,
+// every read serves the immutable final parameters.
+//
+// fn must not retain the view past its return: leased segments are only
+// protected until the lease is released.
+func (r *Running) ReadParams(l *paramvec.Lease, scratch []float64, fn func(paramvec.View)) ReadMeta {
+	r.readMu.RLock()
+	if r.closed {
+		final := r.final
+		r.readMu.RUnlock()
+		fn(paramvec.FlatView(final))
+		return ReadMeta{Consistent: true, Final: true, Chains: 1}
+	}
+	if ll, ok := r.st.(liveLeaser); ok {
+		if l == nil {
+			l = new(paramvec.Lease)
+		}
+		pv := ll.leaseLive(l)
+		// Unpin before fn: a long inference pass must not block the
+		// run's teardown or the autotuner's epoch swap — the lease's
+		// read registration keeps the buffers valid, and Release
+		// classifies what happened meanwhile.
+		r.readMu.RUnlock()
+		fn(pv)
+		consistent := l.Release()
+		return ReadMeta{
+			Consistent: consistent,
+			Retired:    l.RetiredStore(),
+			Chains:     l.Chains(),
+		}
+	}
+	// Copy fallback: every non-Leashed strategy's snapshot is safe for
+	// concurrent outside callers (mutex-guarded or component-atomic).
+	if len(scratch) < r.rt.d {
+		scratch = make([]float64, r.rt.d)
+	}
+	buf := scratch[:r.rt.d]
+	r.st.snapshot(buf)
+	r.readMu.RUnlock()
+	fn(paramvec.FlatView(buf))
+	return ReadMeta{Consistent: true, Copied: true, Chains: 1}
+}

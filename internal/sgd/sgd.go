@@ -585,103 +585,14 @@ func (rt *runCtx) liveVectors() int64 {
 
 // Run executes one training run and returns its measurements. The dataset
 // must validate; the network's input dimension must match the dataset.
+// Run is Start+Wait; use Start directly to read the live parameters while
+// the run is in flight (the serving tier).
 func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
-	if err := ds.Validate(); err != nil {
+	r, err := Start(cfg, net, ds)
+	if err != nil {
 		return nil, err
 	}
-	if net.InDim() != ds.Dim() {
-		return nil, fmt.Errorf("sgd: network input %d != dataset dim %d", net.InDim(), ds.Dim())
-	}
-	if net.OutDim() != ds.Classes {
-		return nil, fmt.Errorf("sgd: network output %d != dataset classes %d", net.OutDim(), ds.Classes)
-	}
-	if cfg.Eta <= 0 {
-		return nil, fmt.Errorf("sgd: step size must be positive, got %v", cfg.Eta)
-	}
-	if cfg.AutoTune || cfg.AutoShard {
-		if cfg.Shards > 1 {
-			return nil, fmt.Errorf("sgd: AutoTune and a fixed Shards=%d are mutually exclusive", cfg.Shards)
-		}
-		if cfg.Algo != Leashed && cfg.Algo != LeashedAdaptive {
-			return nil, fmt.Errorf("sgd: AutoTune requires a Leashed variant, got %v", cfg.Algo)
-		}
-	}
-	cfg = cfg.withDefaults(ds.Len())
-	rt := newRuntime(cfg, net, ds)
-
-	// θ0 ← N(0, 0.01) (paper's rand_init).
-	initVec := paramvec.New(rt.pool)
-	initVec.RandInit(rng.New(cfg.Seed), nn.DefaultSigma)
-
-	// One store-parameterized worker loop runs every algorithm; the
-	// strategy carries what differs (read protocol, publish protocol,
-	// snapshot and cleanup). See loop.go.
-	var st strategy
-	switch cfg.Algo {
-	case Seq, Async:
-		st = rt.newAsyncStrategy(initVec)
-	case Hogwild:
-		st = rt.newHogwildStrategy(initVec)
-	case Leashed, LeashedAdaptive:
-		st = rt.newLeashedStrategy(initVec)
-	case SyncLockstep:
-		st = rt.newSyncStrategy(initVec)
-	default:
-		return nil, fmt.Errorf("sgd: unknown algorithm %v", cfg.Algo)
-	}
-	var wg sync.WaitGroup
-	rt.runWorkers(&wg, st)
-	st.launchAux(&wg)
-
-	res := rt.monitor(st.snapshot)
-	rt.stop.Store(true)
-	rt.stopOnce.Do(func() { close(rt.stopped) })
-	wg.Wait()
-	// Re-snapshot after the workers have quiesced: the monitor's last
-	// snapshot can predate updates that were in flight when the stop
-	// condition fired, and FinalParams must be the true final state
-	// (e.g. exactly MaxUpdates applications for deterministic replay).
-	st.snapshot(res.FinalParams)
-	st.cleanup()
-
-	// Merge per-worker instrumentation.
-	res.Staleness = metrics.NewHist(cfg.StalenessBound)
-	res.Tc, res.Tu = &metrics.DurationSampler{}, &metrics.DurationSampler{}
-	for i := 0; i < cfg.Workers; i++ {
-		res.Staleness.Merge(rt.hists[i])
-		res.Tc.Merge(rt.tcs[i])
-		res.Tu.Merge(rt.tus[i])
-	}
-	res.TotalUpdates = rt.updates.Load()
-	res.Publishes = res.TotalUpdates
-	res.PeakLiveVectors = rt.pool.Peak()
-	res.FinalLiveVectors = rt.liveVectors()
-	res.BufferAllocs = rt.pool.Allocs()
-	res.BufferReuses = rt.pool.Reuses()
-	res.Shards = rt.numShards()
-	res.ConsistentReads, res.MixedReads = rt.readTotals()
-	switch {
-	case rt.auto != nil:
-		rt.auto.fill(res)
-	case rt.epoch != nil && len(rt.epoch.pub) > 1:
-		// Sharded static run (Leashed or HOGWILD! sweeps): full
-		// per-shard breakdown.
-		rt.epoch.rollup(res)
-	case rt.epoch != nil:
-		// Single-chain static Leashed run: aggregate totals only (the
-		// Result contract keeps the Shard* slices nil).
-		rt.epoch.foldTotals(res)
-	}
-	if rt.store != nil {
-		// Fold the store's chain pools into the accounting in
-		// full-vector equivalents (per-chain peaks are an upper bound on
-		// the true simultaneous peak; allocation counts are exact).
-		peak, allocs, reuses := poolEquivalents(rt.store)
-		res.PeakLiveVectors += peak
-		res.BufferAllocs += allocs
-		res.BufferReuses += reuses
-	}
-	return res, nil
+	return r.Wait(), nil
 }
 
 // evalSubset picks the monitor's loss-evaluation rows: every row when the
@@ -707,10 +618,11 @@ func (rt *runCtx) evalSubset() []int {
 // monitor samples the loss on a cadence, maintains the trace, and decides
 // the outcome. It runs in the calling goroutine until a stop condition.
 // Besides the EvalEvery ticker it wakes on rt.done (closed by the worker
-// that applies the final budgeted update) and on a MaxTime deadline timer,
-// so budget- and time-bounded endings are noticed immediately instead of at
-// the next tick — which used to inflate Elapsed/TimeToTarget by up to one
-// EvalEvery interval.
+// that applies the final budgeted update), on a MaxTime deadline timer, and
+// on rt.stopped (closed by Running.Stop), so budget-, time- and
+// stop-bounded endings are noticed immediately instead of at the next tick —
+// which used to inflate Elapsed/TimeToTarget by up to one EvalEvery
+// interval.
 func (rt *runCtx) monitor(snapshot func(dst []float64)) *Result {
 	cfg := rt.cfg
 	ws := rt.net.NewWorkspace()
@@ -739,6 +651,7 @@ func (rt *runCtx) monitor(snapshot func(dst []float64)) *Result {
 		deadline = timer.C
 	}
 	budgetDone := rt.done
+	stopped := rt.stopped
 	for {
 		select {
 		case <-ticker.C:
@@ -746,6 +659,8 @@ func (rt *runCtx) monitor(snapshot func(dst []float64)) *Result {
 			budgetDone = nil // closed; the budget check below ends the run
 		case <-deadline:
 			deadline = nil // fired; the elapsed check below ends the run
+		case <-stopped:
+			stopped = nil // external Stop; the stop check below ends the run
 		}
 		elapsed := time.Since(start)
 		snapshot(buf)
@@ -771,7 +686,7 @@ func (rt *runCtx) monitor(snapshot func(dst []float64)) *Result {
 			res.UpdatesToTarget = upd
 			return finish()
 		}
-		if (cfg.MaxTime > 0 && elapsed >= cfg.MaxTime) || rt.budgetExhausted() {
+		if (cfg.MaxTime > 0 && elapsed >= cfg.MaxTime) || rt.budgetExhausted() || rt.stop.Load() {
 			res.Outcome = Diverged
 			if cfg.EpsilonFrac == 0 {
 				// No target was set; budget exhaustion is the normal

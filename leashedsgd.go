@@ -191,6 +191,27 @@ func Train(cfg Config, m *Model, ds *Dataset) (*Result, error) {
 	return sgd.Run(cfg, m.net, ds)
 }
 
+// Training is a handle on a live, in-progress run started by StartTrain:
+// Wait blocks for the Result, Stop ends the run early, Done exposes the
+// completion channel, and ReadParams serves zero-copy leased reads of the
+// live parameters — the hook the online inference tier (internal/serve,
+// `leashed serve`) is built on.
+type Training = sgd.Running
+
+// StartTrain launches a training run and returns immediately with a live
+// handle. It is Train split in two: StartTrain(...).Wait() is equivalent to
+// Train(...), but the handle's parameters can be read — and predictions
+// served — while the workers are still publishing.
+func StartTrain(cfg Config, m *Model, ds *Dataset) (*Training, error) {
+	if m == nil || m.net == nil {
+		return nil, fmt.Errorf("leashedsgd: nil model")
+	}
+	if ds == nil {
+		return nil, fmt.Errorf("leashedsgd: nil dataset")
+	}
+	return sgd.Start(cfg, m.net, ds)
+}
+
 // Evaluate computes the mean cross-entropy loss and classification accuracy
 // of the given flat parameters on a dataset. Parameters typically come from
 // a prior Train via Result snapshots, or from custom training loops built on

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"leashedsgd"
+	"leashedsgd/internal/paramvec"
 )
 
 func TestPublicAPITrainLeashed(t *testing.T) {
@@ -36,6 +37,53 @@ func TestPublicAPIValidation(t *testing.T) {
 	}
 	if _, err := leashedsgd.Train(leashedsgd.Config{Eta: 0.1}, leashedsgd.SmallMLP(784, 10), nil); err == nil {
 		t.Fatal("nil dataset accepted")
+	}
+	if _, err := leashedsgd.StartTrain(leashedsgd.Config{Eta: 0.1}, nil, leashedsgd.SyntheticMNIST(10, 1)); err == nil {
+		t.Fatal("StartTrain: nil model accepted")
+	}
+	if _, err := leashedsgd.StartTrain(leashedsgd.Config{Eta: 0.1}, leashedsgd.SmallMLP(784, 10), nil); err == nil {
+		t.Fatal("StartTrain: nil dataset accepted")
+	}
+}
+
+// StartTrain(...).Wait() is Train in two steps, with live leased parameter
+// reads available in between.
+func TestPublicAPIStartTrainLiveReads(t *testing.T) {
+	model := leashedsgd.SmallMLP(28*28, 10)
+	ds := leashedsgd.SyntheticMNIST(256, 1)
+	run, err := leashedsgd.StartTrain(leashedsgd.Config{
+		Algo:        leashedsgd.Leashed,
+		Workers:     2,
+		Eta:         0.05,
+		BatchSize:   16,
+		Persistence: leashedsgd.PersistenceInf,
+		EpsilonFrac: 0, // run to budget so the live window stays open
+		MaxTime:     300 * time.Millisecond,
+	}, model, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Dim() != model.ParamCount() {
+		t.Fatalf("Dim = %d, want %d", run.Dim(), model.ParamCount())
+	}
+	reads := 0
+	for {
+		meta := run.ReadParams(nil, nil, func(pv paramvec.View) {
+			if pv.Len() != model.ParamCount() {
+				t.Errorf("live view length %d, want %d", pv.Len(), model.ParamCount())
+			}
+		})
+		reads++
+		if meta.Final {
+			break
+		}
+	}
+	res := run.Wait()
+	if res == nil || reads == 0 {
+		t.Fatalf("res=%v reads=%d", res, reads)
+	}
+	if math.IsNaN(res.FinalLoss) {
+		t.Fatalf("final loss NaN")
 	}
 }
 
