@@ -27,6 +27,8 @@ import (
 	"leashedsgd/internal/paramvec"
 	"leashedsgd/internal/queuemodel"
 	"leashedsgd/internal/sgd"
+	"leashedsgd/internal/sparse"
+	"leashedsgd/internal/tensor"
 )
 
 // benchScale is the laptop-scale configuration every figure benchmark uses.
@@ -475,6 +477,104 @@ func BenchmarkGradientReadAllocs(b *testing.B) {
 			b.ReportMetric(allocs, "allocs/op")
 			if allocs != 0 {
 				b.Errorf("leased gradient read path allocated %.1f times per op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkSparseShardSweep is the tentpole check of the sparse
+// scatter-publish path: sparse logistic regression at RCV1-like scale
+// (d = 131072, NNZ = 64, B = 1) under 8 workers, sparse first-class steps
+// across a Leashed shard sweep against the dense whole-vector control arm
+// (identical gradients, Config.SparseAsDense). Dense publishes copy the full
+// chain every update; sparse scatter-publishes touch ≤ NNZ components and
+// skip every chain without mass — so the best sparse row must beat the dense
+// row on time per update, which the benchmark enforces with b.Errorf. The
+// occupancy metric (touched components per publish) reports the mechanism.
+func BenchmarkSparseShardSweep(b *testing.B) {
+	sc := harness.SmallSparse()
+	sc.MaxUpdates = 2000
+	sc.MaxTime = 60 * time.Second
+	const workers = 8
+	ds := sc.Dataset()
+	configs := []struct {
+		name    string
+		shards  int
+		asDense bool
+	}{
+		{"dense/S=1", 1, true},
+		{"sparse/S=1", 1, false},
+		{"sparse/S=64", 64, false},
+		{"sparse/S=1024", 1024, false},
+	}
+	best := make(map[string]float64)
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := harness.RunSparseCell(sc, ds, sgd.Leashed, workers, cfg.shards, cfg.asDense)
+				ns := float64(res.TimePerUpdate())
+				if prev, ok := best[cfg.name]; !ok || ns < prev {
+					best[cfg.name] = ns
+				}
+				b.ReportMetric(ns, "ns/update")
+				b.ReportMetric(res.FailedPerPublish(), "failedCAS/publish")
+				if res.Publishes > 0 && res.TouchedComponents > 0 {
+					b.ReportMetric(float64(res.TouchedComponents)/float64(res.Publishes), "occupancy")
+				}
+			}
+		})
+	}
+	dense, ok := best["dense/S=1"]
+	if !ok {
+		return
+	}
+	bestSparse := dense
+	for name, ns := range best {
+		if name != "dense/S=1" && ns < bestSparse {
+			bestSparse = ns
+		}
+	}
+	b.ReportMetric(dense/bestSparse, "sparse-speedup")
+	if bestSparse >= dense {
+		b.Errorf("best sparse configuration (%.0f ns/update) did not beat the dense control arm (%.0f ns/update)",
+			bestSparse, dense)
+	}
+}
+
+// BenchmarkSparseGradientReadAllocs asserts the sparse leased gradient-read
+// path is allocation-free, mirroring BenchmarkGradientReadAllocs for the
+// sparse pipeline: lease the store, compute a sparse logistic gradient pass
+// through the zero-copy view — SpDot's gather kernel on the flat single-chain
+// view, GatherSparse through the segmented cursor on the sharded one —
+// release. The name substring-matches benchreport's default -alloc-guard, so
+// CI fails on any allocation, not just a slower number.
+func BenchmarkSparseGradientReadAllocs(b *testing.B) {
+	ds := sparse.Generate(sparse.GenConfig{N: 64, Dim: 131072, NNZ: 64, Seed: 3, Noise: 0.02})
+	for _, chains := range []int{1, 64} {
+		b.Run(fmt.Sprintf("chains=%d", chains), func(b *testing.B) {
+			st := paramvec.NewStore(ds.Dim, chains)
+			st.PublishInit(make([]float64, ds.Dim))
+			defer st.Retire()
+			gath := make([]float64, 64)
+			var lease paramvec.Lease
+			var sink float64
+			read := func() {
+				view := lease.Acquire(st)
+				for _, ex := range ds.Examples[:8] {
+					if flat := view.Flat(); flat != nil {
+						sink += tensor.SpDot(ex.Idx, ex.Val, flat)
+					} else {
+						w := view.GatherSparse(ex.Idx, gath)
+						sink += tensor.Dot(w, ex.Val)
+					}
+				}
+				lease.Release()
+			}
+			allocs := testing.AllocsPerRun(50, read)
+			runtime.KeepAlive(sink)
+			b.ReportMetric(allocs, "allocs/op")
+			if allocs != 0 {
+				b.Errorf("sparse leased gradient read path allocated %.1f times per op, want 0", allocs)
 			}
 		})
 	}

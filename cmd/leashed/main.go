@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	leashed run <step> [flags]     run one step: s1, s1-eta, s2, s3, s4, s5, fig9, shards, autotune, jointtune, serveload
+//	leashed run <step> [flags]     run one step: s1, s1-eta, s2, s3, s4, s5, fig9, shards, autotune, jointtune, serveload, sparse
 //	leashed run-all [flags]        run every step at the configured scale
 //	leashed serve [flags]          HTTP prediction server over a live training run
 //	leashed table1                 print the experiment-plan summary
@@ -121,7 +121,7 @@ func main() {
 		}
 	}
 
-	steps := []string{"s1", "s1-eta", "s2", "s3", "s4", "s5", "fig9", "shards", "autotune", "jointtune", "serveload"}
+	steps := []string{"s1", "s1-eta", "s2", "s3", "s4", "s5", "fig9", "shards", "autotune", "jointtune", "serveload", "sparse"}
 	if cmd == "run" {
 		if fs.NArg() != 1 {
 			fmt.Fprintf(os.Stderr, "run needs exactly one step (%s)\n", strings.Join(steps, ", "))
@@ -198,6 +198,14 @@ func runStep(step string, sc harness.Scale, threads, shardCounts []int, emit fun
 		// live autotuned training run, reporting throughput, tail latency,
 		// coalescing factor and the consistency-label mix.
 		emit(harness.ServeLoadSweep(sc, mid(threads), []int{1, 4, 16}, sc.MaxTime/4))
+	case "sparse":
+		// Sparse scatter-publish sweep: first-class sparse gradients
+		// against the dense whole-vector control arm across shard counts,
+		// with HOGWILD! as the sparse-regime reference.
+		m := threads[len(threads)-1] * 2
+		ssc := harness.SmallSparse()
+		ssc.MaxTime = sc.MaxTime
+		emit(harness.SparseSweep(ssc, m, shardCounts))
 	case "fig9":
 		archs := []harness.Arch{harness.SmallMLP, harness.SmallCNN}
 		if sc.Arch == harness.PaperMLP || sc.Arch == harness.PaperCNN {
@@ -255,7 +263,7 @@ func parseArch(s string) (harness.Arch, error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  leashed run <s1|s1-eta|s2|s3|s4|s5|fig9|shards|autotune|jointtune|serveload> [flags]
+  leashed run <s1|s1-eta|s2|s3|s4|s5|fig9|shards|autotune|jointtune|serveload|sparse> [flags]
   leashed run-all [flags]
   leashed train [-algo LSH] [-arch mlp] [-workers N] [-shards S] [-autoshard] [-autotune] [-json] [-ckpt FILE] ...
   leashed serve [-addr HOST:PORT] [-arch mlp] [-workers N] [-budget DUR] [-max-batch N] [-max-delay DUR] ...

@@ -32,6 +32,10 @@ func runTrain(args []string) {
 	momentum := fs.Float64("momentum", 0, "heavy-ball momentum (extension)")
 	tauBeta := fs.Float64("tau-beta", 0, "staleness-adaptive step-size beta (extension)")
 	mnistDir := fs.String("mnist", "", "real MNIST IDX directory (optional)")
+	sparseRun := fs.Bool("sparse", false, "train sparse logistic regression instead of the dense net (-dim/-nnz)")
+	sparseDim := fs.Int("dim", 131072, "sparse feature dimension (with -sparse)")
+	sparseNNZ := fs.Int("nnz", 64, "non-zeros per sparse example (with -sparse)")
+	sparseAsDense := fs.Bool("sparse-as-dense", false, "carry sparse gradients as dense steps (control arm, with -sparse)")
 	ckpt := fs.String("ckpt", "", "save trained model checkpoint to this path")
 	jsonOut := fs.Bool("json", false, "emit the result summary as JSON")
 	if err := fs.Parse(args); err != nil {
@@ -57,23 +61,7 @@ func runTrain(args []string) {
 		os.Exit(2)
 	}
 
-	var model *leashedsgd.Model
-	switch *arch {
-	case "mlp":
-		model = leashedsgd.SmallMLP(28*28, 10)
-	case "cnn":
-		model = leashedsgd.SmallCNN()
-	case "paper-mlp":
-		model = leashedsgd.PaperMLP()
-	case "paper-cnn":
-		model = leashedsgd.PaperCNN()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown arch %q\n", *arch)
-		os.Exit(2)
-	}
-
-	ds, real := leashedsgd.LoadOrSynthesizeMNIST(*mnistDir, *samples, *seed)
-	res, err := leashedsgd.Train(leashedsgd.Config{
+	cfg := leashedsgd.Config{
 		Algo:            algo,
 		Workers:         *workers,
 		Eta:             *eta,
@@ -87,13 +75,63 @@ func runTrain(args []string) {
 		Seed:            *seed,
 		Momentum:        *momentum,
 		TauAdaptiveBeta: *tauBeta,
-	}, model, ds)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	}
+
+	var model *leashedsgd.Model
+	var res *leashedsgd.Result
+	archLabel := *arch
+	real := false
+	if *sparseRun {
+		// Sparse logistic regression through the same pipeline. BatchSize
+		// keeps the sparse default (1) unless -batch was given explicitly.
+		batchSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "batch" {
+				batchSet = true
+			}
+		})
+		if !batchSet {
+			cfg.BatchSize = 0
+		}
+		cfg.SparseAsDense = *sparseAsDense
+		sds := leashedsgd.SyntheticSparse(*samples, *sparseDim, *sparseNNZ, *seed)
+		archLabel = fmt.Sprintf("sparse-logreg(d=%d,nnz=%d)", *sparseDim, *sparseNNZ)
+		var err error
+		res, err = leashedsgd.TrainSparse(cfg, sds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		switch *arch {
+		case "mlp":
+			model = leashedsgd.SmallMLP(28*28, 10)
+		case "cnn":
+			model = leashedsgd.SmallCNN()
+		case "paper-mlp":
+			model = leashedsgd.PaperMLP()
+		case "paper-cnn":
+			model = leashedsgd.PaperCNN()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown arch %q\n", *arch)
+			os.Exit(2)
+		}
+		var ds *leashedsgd.Dataset
+		ds, real = leashedsgd.LoadOrSynthesizeMNIST(*mnistDir, *samples, *seed)
+		archLabel = model.Arch()
+		var err error
+		res, err = leashedsgd.Train(cfg, model, ds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	if *ckpt != "" {
+		if model == nil {
+			fmt.Fprintln(os.Stderr, "checkpoint: not supported for -sparse runs")
+			os.Exit(1)
+		}
 		if err := leashedsgd.SaveCheckpoint(*ckpt, model, res); err != nil {
 			fmt.Fprintln(os.Stderr, "checkpoint:", err)
 			os.Exit(1)
@@ -103,7 +141,7 @@ func runTrain(args []string) {
 	if *jsonOut {
 		out := map[string]any{
 			"algo":              algo.String(),
-			"arch":              model.Arch(),
+			"arch":              archLabel,
 			"workers":           *workers,
 			"real_mnist":        real,
 			"outcome":           res.Outcome.String(),
@@ -122,11 +160,15 @@ func runTrain(args []string) {
 			"peak_live_vectors": res.PeakLiveVectors,
 			"shards":            res.Shards,
 		}
+		if res.TouchedComponents > 0 {
+			out["touched_components"] = res.TouchedComponents
+		}
 		if res.ShardFailedCAS != nil {
 			out["shard_failed_cas"] = res.ShardFailedCAS
 			out["shard_dropped"] = res.ShardDropped
 			out["shard_publishes"] = res.ShardPublishes
 			out["shard_staleness_mean"] = res.ShardStalenessMean
+			out["shard_touched"] = res.ShardTouched
 		}
 		if res.ShardTrajectory != nil {
 			out["shard_trajectory"] = res.ShardTrajectory
@@ -144,7 +186,7 @@ func runTrain(args []string) {
 		return
 	}
 
-	fmt.Printf("%s on %s (m=%d): %s\n", algo, model.Arch(), *workers, res.Outcome)
+	fmt.Printf("%s on %s (m=%d): %s\n", algo, archLabel, *workers, res.Outcome)
 	fmt.Printf("loss %.4f -> %.4f", res.InitialLoss, res.FinalLoss)
 	if res.Outcome == leashedsgd.Converged && *epsilon > 0 {
 		fmt.Printf(" in %v (%d updates)", res.TimeToTarget.Round(time.Millisecond), res.UpdatesToTarget)
@@ -152,6 +194,11 @@ func runTrain(args []string) {
 	fmt.Printf("\nstaleness mean %.2f max %d; %.3f ms/update\n",
 		res.Staleness.Mean(), res.Staleness.Max(),
 		float64(res.TimePerUpdate())/float64(time.Millisecond))
+	if res.TouchedComponents > 0 && res.Publishes > 0 {
+		fmt.Printf("occupancy %.1f components/publish (%d touched over %d publishes)\n",
+			float64(res.TouchedComponents)/float64(res.Publishes),
+			res.TouchedComponents, res.Publishes)
+	}
 	if res.ShardTrajectory != nil {
 		fmt.Printf("autoshard trajectory %v (%d reshards, final S=%d)\n",
 			res.ShardTrajectory, res.Reshards, res.Shards)

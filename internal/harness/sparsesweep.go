@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"leashedsgd/internal/report"
+	"leashedsgd/internal/sgd"
+	"leashedsgd/internal/sparse"
+)
+
+// SparseScale bundles the workload parameters of a sparse logistic-regression
+// experiment: an RCV1-shaped synthetic problem (large d, a few dozen
+// non-zeros per example) — the regime where scatter-publish has to beat the
+// dense whole-vector publish.
+type SparseScale struct {
+	N          int // examples
+	Dim        int // feature dimension
+	NNZ        int // non-zeros per example
+	Eta        float64
+	BatchSize  int
+	MaxUpdates int64
+	MaxTime    time.Duration
+	Seed       uint64
+}
+
+// SmallSparse is the laptop-scale sparse workload: d large enough that a
+// dense whole-vector publish is visibly arithmetic-bound, small enough that
+// a sweep finishes in seconds.
+func SmallSparse() SparseScale {
+	return SparseScale{
+		N: 4096, Dim: 131072, NNZ: 64,
+		Eta: 0.1, BatchSize: 1,
+		MaxUpdates: 20000, MaxTime: 2 * time.Minute, Seed: 1,
+	}
+}
+
+// Dataset generates the scale's synthetic sparse dataset (deterministic per
+// seed).
+func (sc SparseScale) Dataset() *sparse.Dataset {
+	return sparse.Generate(sparse.GenConfig{
+		N: sc.N, Dim: sc.Dim, NNZ: sc.NNZ, Seed: sc.Seed, Noise: 0.02,
+	})
+}
+
+// RunSparseCell runs one sparse configuration and returns its Result.
+func RunSparseCell(sc SparseScale, ds *sparse.Dataset, algo sgd.Algorithm, workers, shards int, asDense bool) *sgd.Result {
+	res, err := sgd.RunSparse(sgd.Config{
+		Algo:          algo,
+		Workers:       workers,
+		Shards:        shards,
+		Eta:           sc.Eta,
+		BatchSize:     sc.BatchSize,
+		Persistence:   sgd.PersistenceInf,
+		Seed:          sc.Seed + 1,
+		SparseAsDense: asDense,
+		MaxUpdates:    sc.MaxUpdates,
+		MaxTime:       sc.MaxTime,
+		EvalEvery:     50 * time.Millisecond,
+	}, ds)
+	if err != nil {
+		panic(fmt.Sprintf("harness: sparse cell (%v S=%d): %v", algo, shards, err))
+	}
+	return res
+}
+
+// SparseSweep is the scatter-publish experiment: the dense whole-vector
+// control arm (identical gradients carried as full d-length steps) against
+// sparse first-class steps across a Leashed shard sweep, with HOGWILD! as the
+// sparse-regime reference point. The occupancy column — touched components
+// per publish — is the mechanism made visible: the dense arm writes the full
+// chain every publish, the sparse rows only the few components each step
+// hits, and the ms/kupd column shows what that saves.
+func SparseSweep(sc SparseScale, workers int, shardCounts []int) *report.Table {
+	tbl := report.NewTable(
+		fmt.Sprintf("Sparse sweep: scatter-publish vs dense publish, d=%d nnz=%d m=%d",
+			sc.Dim, sc.NNZ, workers),
+		"repr", "S", "updates", "ms/kupd", "failed/pub", "occupancy", "final loss")
+	ds := sc.Dataset()
+	addRow := func(repr string, res *sgd.Result) {
+		occupancy := "-"
+		if res.Publishes > 0 && res.TouchedComponents > 0 {
+			occupancy = fmt.Sprintf("%.1f", float64(res.TouchedComponents)/float64(res.Publishes))
+		}
+		tbl.AddRow(
+			repr,
+			fmt.Sprintf("%d", res.Shards),
+			fmt.Sprintf("%d", res.TotalUpdates),
+			fmt.Sprintf("%.3f", 1e3*float64(res.TimePerUpdate())/float64(time.Millisecond)),
+			fmt.Sprintf("%.4f", res.FailedPerPublish()),
+			occupancy,
+			fmt.Sprintf("%.4f", res.FinalLoss),
+		)
+	}
+	addRow("dense", RunSparseCell(sc, ds, sgd.Leashed, workers, 1, true))
+	for _, s := range shardCounts {
+		addRow("sparse", RunSparseCell(sc, ds, sgd.Leashed, workers, s, false))
+	}
+	addRow("hogwild", RunSparseCell(sc, ds, sgd.Hogwild, workers, 1, false))
+	return tbl
+}

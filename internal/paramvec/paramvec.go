@@ -176,6 +176,21 @@ func (v *Vector) Update(delta []float64, eta float64) {
 	}
 }
 
+// UpdateSparse applies θ[idx[k]−base] ← θ[idx[k]−base] − η·val[k] for each
+// stored nonzero and advances the sequence number — the sparse counterpart
+// of Update, touching only the components a minibatch's nonzeros hit. base
+// shifts store-absolute CSR indices into this vector's local range (a chain
+// vector covering [Lo, Hi) passes base = Lo). Like Update it must only be
+// called on vectors private to the caller.
+func (v *Vector) UpdateSparse(base int32, idx []int32, val []float64, eta float64) {
+	v.T++
+	theta := v.Theta
+	val = val[:len(idx)]
+	for k, j := range idx {
+		theta[j-base] -= eta * val[k]
+	}
+}
+
 // StartReading registers the caller as a reader (n_rdrs.fetch_add(1)).
 func (v *Vector) StartReading() {
 	v.nRdrs.Add(1)
@@ -262,6 +277,19 @@ func (s *Shared) TryPublish(expected, v *Vector) bool {
 	expected.MarkStale()
 	expected.SafeDelete()
 	return true
+}
+
+// TryPublishSparse is the scatter-publish step of the sparse delta path:
+// one LAU-SPC attempt that copies expected into the private vector v, folds
+// the sparse delta into the copy (indices shifted by base, see
+// Vector.UpdateSparse), and publishes it with the same single CAS as
+// TryPublish. Bundling copy+update+CAS here keeps the sparse protocol's
+// memory behaviour identical to the dense one — v is recycled or retried by
+// the caller exactly as a densely updated vector would be.
+func (s *Shared) TryPublishSparse(expected, v *Vector, base int32, idx []int32, val []float64, eta float64) bool {
+	v.CopyFrom(expected)
+	v.UpdateSparse(base, idx, val, eta)
+	return s.TryPublish(expected, v)
 }
 
 // Latest is Algorithm 3's latest_pointer(): fetch the published pointer,

@@ -105,6 +105,14 @@ func (ss *ShardedShared) ChainTryPublish(c int, expected, v *Vector) bool {
 	return ss.cells[c].shared.TryPublish(expected, v)
 }
 
+// ChainTryPublishSparse is TryPublishSparse under the ParamStore interface:
+// the store-absolute indices (restricted to shard c's range by the caller)
+// are shifted to shard-local positions via the shard's lower bound.
+func (ss *ShardedShared) ChainTryPublishSparse(c int, expected, v *Vector, idx []int32, val []float64, eta float64) bool {
+	cell := &ss.cells[c]
+	return cell.shared.TryPublishSparse(expected, v, int32(cell.rng.Lo), idx, val, eta)
+}
+
 // ChainPeek is Peek under the ParamStore interface.
 func (ss *ShardedShared) ChainPeek(c int) *Vector { return ss.cells[c].shared.Peek() }
 

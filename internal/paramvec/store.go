@@ -30,6 +30,15 @@ type ParamStore interface {
 	// ChainTryPublish runs the single-CAS publish step on chain c: on
 	// success the replaced vector is retired for recycling.
 	ChainTryPublish(c int, expected, v *Vector) bool
+	// ChainTryPublishSparse is the scatter-publish step of the sparse delta
+	// path: one LAU-SPC attempt on chain c that copies expected into the
+	// private vector v, folds in the sparse delta — store-absolute CSR
+	// indices restricted to ChainRange(c), shifted to chain-local positions
+	// internally — and publishes with the same single CAS as
+	// ChainTryPublish. Sparse workers call this only for the chains their
+	// minibatch's nonzeros hit; untouched chains see no CAS, no copy and no
+	// pool traffic.
+	ChainTryPublishSparse(c int, expected, v *Vector, idx []int32, val []float64, eta float64) bool
 	// ChainPeek returns chain c's published vector WITHOUT read
 	// protection (monitoring and seqlock validation only).
 	ChainPeek(c int) *Vector
@@ -117,6 +126,12 @@ func (s *Shared) ChainLatest(int) *Vector { return s.Latest() }
 // ChainTryPublish is TryPublish under the chain-indexed store interface.
 func (s *Shared) ChainTryPublish(_ int, expected, v *Vector) bool {
 	return s.TryPublish(expected, v)
+}
+
+// ChainTryPublishSparse is TryPublishSparse under the chain-indexed store
+// interface; the single chain starts at 0, so indices pass through unshifted.
+func (s *Shared) ChainTryPublishSparse(_ int, expected, v *Vector, idx []int32, val []float64, eta float64) bool {
+	return s.TryPublishSparse(expected, v, 0, idx, val, eta)
 }
 
 // ChainPeek is Peek under the chain-indexed store interface.

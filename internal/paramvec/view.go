@@ -146,6 +146,36 @@ func (v View) Gather(lo, hi int, dst []float64) []float64 {
 	return dst
 }
 
+// GatherSparse copies the components at index set idx (CSR column indices,
+// sorted ascending) into dst (which must have capacity len(idx)) and returns
+// dst[:len(idx)]. It is the sparse read primitive: a flat view gathers
+// directly, a segmented (leased, sharded) view walks the segments with a
+// forward cursor so the whole gather costs O(len(idx)) instead of a binary
+// search per component. Unsorted indices stay correct — a backward jump
+// re-syncs the cursor by binary search. With a pre-sized dst it performs no
+// allocation.
+func (v View) GatherSparse(idx []int32, dst []float64) []float64 {
+	dst = dst[:len(idx)]
+	if v.flat != nil || len(v.segs) == 0 {
+		for k, j := range idx {
+			dst[k] = v.flat[j]
+		}
+		return dst
+	}
+	s := 0
+	for k, j := range idx {
+		p := int(j)
+		if p < v.offs[s] {
+			s = v.segIndex(p)
+		}
+		for p >= v.offs[s+1] {
+			s++
+		}
+		dst[k] = v.segs[s][p-v.offs[s]]
+	}
+	return dst
+}
+
 // At returns element i. Convenience for tests and cold paths; hot kernels
 // use Slice/Tail.
 func (v View) At(i int) float64 {

@@ -45,14 +45,14 @@ func (st *asyncStrategy) read(w *loopWorker) paramvec.View {
 	return paramvec.FlatView(w.param.Theta)
 }
 
-func (st *asyncStrategy) commit(w *loopWorker, step []float64) bool {
+func (st *asyncStrategy) commit(w *loopWorker, s step) bool {
 	rt := st.rt
 	st.mtx.Lock()
 	if !rt.reserveUpdate() {
 		st.mtx.Unlock()
 		return false
 	}
-	st.shared.Update(step, rt.adaptedEta(rt.updates.Load()-w.readSeq))
+	s.applyVector(st.shared, rt.adaptedEta(rt.updates.Load()-w.readSeq))
 	applied := rt.applyUpdate()
 	st.mtx.Unlock()
 	// Staleness: updates applied between our read and ours (our own

@@ -263,6 +263,12 @@ func newTuner(s0, maxS, tp0, maxTp int, tpFrozen bool) *tuner {
 type window struct {
 	failed, pubs int64
 	mixed, reads int64
+	// touched is the window's published-component count — with pubs it gives
+	// the windowed occupancy (touched per publish, ≈ chain length for dense
+	// steps, ≪ chain length for sparse scatter-publishes). Informational
+	// today: it is windowed alongside the decision signals so occupancy-aware
+	// policies can be layered on without reworking the sampling plumbing.
+	touched int64
 }
 
 // observe feeds one window to the active axis and reports the next (S, Tp)
@@ -315,22 +321,24 @@ type autoTuner struct {
 	// Retired-epoch accumulators: contention totals, and pool accounting
 	// in full-vector equivalents (peak is a max across epochs — they are
 	// disjoint in time; allocations and reuses accumulate).
-	failedAcc, droppedAcc, pubAcc int64
-	peakEq, allocsEq, reusesEq    int64
+	failedAcc, droppedAcc, pubAcc, touchedAcc int64
+	peakEq, allocsEq, reusesEq                int64
 }
 
-// totals returns the run-wide failed-CAS and publish counts (retired epochs
-// plus the live one), the S axis's windowed-rate inputs.
-func (at *autoTuner) totals() (failed, pubs int64) {
+// totals returns the run-wide failed-CAS, publish and touched-component
+// counts (retired epochs plus the live one) — the S axis's windowed-rate
+// inputs plus the occupancy numerator.
+func (at *autoTuner) totals() (failed, pubs, touched int64) {
 	at.mu.RLock()
 	defer at.mu.RUnlock()
-	failed, pubs = at.failedAcc, at.pubAcc
+	failed, pubs, touched = at.failedAcc, at.pubAcc, at.touchedAcc
 	e := at.epoch
 	for s := range e.failed {
 		failed += e.failed[s].n.Load()
 		pubs += e.pub[s].n.Load()
+		touched += e.touched[s].n.Load()
 	}
-	return failed, pubs
+	return failed, pubs, touched
 }
 
 // liveEq is the live chain-buffer gauge in full-vector equivalents.
@@ -348,6 +356,7 @@ func (at *autoTuner) foldRetired(e *shardEpoch) {
 		at.failedAcc += e.failed[s].n.Load()
 		at.droppedAcc += e.dropped[s].n.Load()
 		at.pubAcc += e.pub[s].n.Load()
+		at.touchedAcc += e.touched[s].n.Load()
 	}
 	peak, allocs, reuses := poolEquivalents(e.store)
 	if peak > at.peakEq {
@@ -394,6 +403,7 @@ func (at *autoTuner) fill(res *Result) {
 	res.FailedCAS += at.failedAcc
 	res.DroppedUpdates += at.droppedAcc
 	res.Publishes += at.pubAcc
+	res.TouchedComponents += at.touchedAcc
 	res.ShardTrajectory = append([]int(nil), at.trajectory...)
 	res.Reshards = len(at.trajectory) - 1
 	res.TpTrajectory = append([]int(nil), at.tpTrajectory...)
@@ -429,11 +439,12 @@ func (at *autoTuner) launchController(rt *runCtx, wg *sync.WaitGroup) {
 			case <-rt.stopped:
 				return
 			}
-			failed, pubs := at.totals()
+			failed, pubs, touched := at.totals()
 			consistent, mixed := rt.readTotals()
-			d := win.Deltas(failed, pubs, mixed, consistent+mixed)
+			d := win.Deltas(failed, pubs, mixed, consistent+mixed, touched)
 			newS, newTp, sChanged, tpChanged := at.joint.observe(window{
 				failed: d[0], pubs: d[1], mixed: d[2], reads: d[3],
+				touched: d[4],
 			})
 			if tpChanged {
 				at.retune(newTp)

@@ -16,6 +16,12 @@ type shardEpoch struct {
 	// head advanced (the per-chain decomposition of a mixed-version read —
 	// the staleness accounting the Tp autotuning axis is steered by).
 	rstale []paddedCounter
+	// touched counts, per chain, the parameter components written by
+	// successful publishes — the chain's full length per dense publish,
+	// only the hit components per sparse scatter-publish. The occupancy
+	// signal (touched per publish per chain length) is reported next to
+	// the contention counters and windowed by the autotune controller.
+	touched []paddedCounter
 }
 
 // newShardEpoch builds the canonical store for the given chain count
@@ -32,6 +38,7 @@ func newShardEpoch(dim, chains int, theta []float64) *shardEpoch {
 		pub:     newCounters(n),
 		stale:   newCounters(n),
 		rstale:  newCounters(n),
+		touched: newCounters(n),
 	}
 }
 
@@ -46,18 +53,21 @@ func (e *shardEpoch) rollup(res *Result) {
 	res.ShardPublishes = make([]int64, S)
 	res.ShardStalenessMean = make([]float64, S)
 	res.ShardStaleReads = make([]int64, S)
+	res.ShardTouched = make([]int64, S)
 	res.Publishes = 0
 	for s := 0; s < S; s++ {
 		res.ShardFailedCAS[s] = e.failed[s].n.Load()
 		res.ShardDropped[s] = e.dropped[s].n.Load()
 		res.ShardPublishes[s] = e.pub[s].n.Load()
 		res.ShardStaleReads[s] = e.rstale[s].n.Load()
+		res.ShardTouched[s] = e.touched[s].n.Load()
 		if pub := res.ShardPublishes[s]; pub > 0 {
 			res.ShardStalenessMean[s] = float64(e.stale[s].n.Load()) / float64(pub)
 		}
 		res.FailedCAS += res.ShardFailedCAS[s]
 		res.DroppedUpdates += res.ShardDropped[s]
 		res.Publishes += res.ShardPublishes[s]
+		res.TouchedComponents += res.ShardTouched[s]
 	}
 }
 
@@ -70,6 +80,7 @@ func (e *shardEpoch) foldTotals(res *Result) {
 		res.FailedCAS += e.failed[s].n.Load()
 		res.DroppedUpdates += e.dropped[s].n.Load()
 		res.Publishes += e.pub[s].n.Load()
+		res.TouchedComponents += e.touched[s].n.Load()
 	}
 }
 

@@ -54,6 +54,7 @@ func (rt *runCtx) newHogwildStrategy(initVec *paramvec.Vector) *hogwildStrategy 
 			pub:     newCounters(s),
 			stale:   newCounters(s),
 			rstale:  newCounters(s),
+			touched: newCounters(s),
 		}
 		rt.epoch = st.epoch
 	}
@@ -78,7 +79,7 @@ func (st *hogwildStrategy) read(w *loopWorker) paramvec.View {
 	return paramvec.FlatView(theta)
 }
 
-func (st *hogwildStrategy) commit(w *loopWorker, step []float64) bool {
+func (st *hogwildStrategy) commit(w *loopWorker, s step) bool {
 	rt := st.rt
 	// Reserve a budget unit before touching the shared array: HOGWILD has
 	// no abort path, so a reservation is always applied and the budget
@@ -90,20 +91,19 @@ func (st *hogwildStrategy) commit(w *loopWorker, step []float64) bool {
 	}
 	eta := rt.adaptedEta(rt.updates.Load() - w.readSeq)
 	if S := len(st.bounds); S == 1 {
-		for i, g := range step {
-			if g != 0 {
-				atomicx.AddFloat64(&st.shared[i], -eta*g)
-			}
-		}
+		s.atomicApply(st.shared, 0, rt.d, eta)
 	} else {
 		for k := 0; k < S; k++ {
-			s := (w.id + w.iter + k) % S
-			for i := st.bounds[s].Lo; i < st.bounds[s].Hi; i++ {
-				if g := step[i]; g != 0 {
-					atomicx.AddFloat64(&st.shared[i], -eta*g)
-				}
+			sh := (w.id + w.iter + k) % S
+			b := st.bounds[sh]
+			if !s.hasIn(b.Lo, b.Hi) {
+				// A sweep that would write nothing is skipped (sparse
+				// steps: most shards, most iterations) and not counted.
+				continue
 			}
-			st.epoch.pub[s].n.Add(1)
+			s.atomicApply(st.shared, b.Lo, b.Hi, eta)
+			st.epoch.pub[sh].n.Add(1)
+			st.epoch.touched[sh].n.Add(int64(s.nnzIn(b.Lo, b.Hi)))
 		}
 	}
 	applied := rt.applyUpdate()

@@ -141,8 +141,13 @@ func (st *leashedStrategy) endRead(w *loopWorker) {
 }
 
 // commit runs the per-chain LAU-SPC publish loops under one reserved unit of
-// the update budget.
-func (st *leashedStrategy) commit(w *loopWorker, step []float64) bool {
+// the update budget. The loop is representation-generic: chains the step has
+// no mass in are skipped outright (the scatter-publish win — a sparse step
+// touches ~min(S, B·NNZ) of the S chains, and untouched chains see no CAS,
+// no copy and no pool traffic), and each attempt folds the step through
+// step.publishChain (whole-segment copy+update for dense, base-shifted
+// sparse scatter for CSR).
+func (st *leashedStrategy) commit(w *loopWorker, s step) bool {
 	rt := st.rt
 	e := w.epoch
 	store := e.store
@@ -161,23 +166,26 @@ func (st *leashedStrategy) commit(w *loopWorker, step []float64) bool {
 	for k := 0; k < C; k++ {
 		c := (w.id + k) % C
 		r := store.ChainRange(c)
+		if !s.hasIn(r.Lo, r.Hi) {
+			continue
+		}
 		readT := w.lease.Seq(c)
 		newSeg := store.NewChainVec(c)
 		tries := 0
 		for {
 			cur := store.ChainLatest(c)
-			newSeg.CopyFrom(cur)
+			// Staleness estimate at apply time: publishes between the
+			// gradient's source vector and the head we fold onto, in this
+			// chain's own sequence numbers.
+			tau := cur.T - readT
+			ok := s.publishChain(store, c, r, cur, newSeg, rt.adaptedEta(tau))
 			cur.StopReading()
-			newSeg.Update(step[r.Lo:r.Hi], rt.adaptedEta(newSeg.T-readT))
-			if store.ChainTryPublish(c, cur, newSeg) {
+			if ok {
 				publishedAny = true
 				e.pub[c].n.Add(1)
-				// Staleness: publishes between the gradient's source
-				// vector and this one, exclusive, in this chain's own
-				// sequence numbers.
-				stale := newSeg.T - 1 - readT
-				w.hist.Observe(stale)
-				e.stale[c].n.Add(stale)
+				e.touched[c].n.Add(int64(s.nnzIn(r.Lo, r.Hi)))
+				w.hist.Observe(tau)
+				e.stale[c].n.Add(tau)
 				if tries > 0 {
 					cleanIter = false
 				}

@@ -15,9 +15,7 @@ import (
 	"sync"
 	"time"
 
-	"leashedsgd/internal/data"
 	"leashedsgd/internal/metrics"
-	"leashedsgd/internal/nn"
 	"leashedsgd/internal/paramvec"
 )
 
@@ -38,11 +36,13 @@ type strategy interface {
 	// zero-copy protocols; no-op for copy reads).
 	endRead(w *loopWorker)
 	// commit runs the publish protocol for the computed step, including
-	// budget reservation/refund and staleness observation. It reports
-	// whether an update phase actually ran — false when the budget
-	// reservation failed and the step was discarded — so aborted commits
-	// do not contaminate the Tu distribution with near-zero samples.
-	commit(w *loopWorker, step []float64) bool
+	// budget reservation/refund and staleness observation. The step is
+	// representation-generic (dense or sparse CSR — see problem.go); each
+	// protocol applies it through the step interface. It reports whether
+	// an update phase actually ran — false when the budget reservation
+	// failed and the step was discarded — so aborted commits do not
+	// contaminate the Tu distribution with near-zero samples.
+	commit(w *loopWorker, s step) bool
 	// end closes the iteration (epoch-lock release for autotuned runs).
 	end(w *loopWorker)
 	// loopTimesCommit reports whether the loop should sample commit's
@@ -69,15 +69,13 @@ func (nopHooks) loopTimesCommit() bool     { return true }
 func (nopHooks) launchAux(*sync.WaitGroup) {}
 
 // loopWorker is one worker's state in the unified loop: the pieces every
-// algorithm needs (workspace, gradient accumulator, sampler, metrics,
-// optional momentum velocity) plus the strategy-specific slots (read-copy
-// buffer, lease, current epoch, persistence bound).
+// algorithm needs (the problem's gradient computer, metrics, optional
+// momentum velocity) plus the strategy-specific slots (read-copy buffer,
+// lease, current epoch, persistence bound).
 type loopWorker struct {
 	id       int
-	ws       *nn.Workspace
-	grad     *paramvec.Vector // local gradient accumulator (always flat/private)
+	gw       gradWorker       // the problem's per-worker gradient computer
 	param    *paramvec.Vector // private read-copy target; nil for zero-copy reads
-	sampler  *data.Sampler
 	hist     *metrics.Hist
 	tc, tu   *metrics.DurationSampler
 	velocity []float64
@@ -98,9 +96,7 @@ func (rt *runCtx) newLoopWorker(id int) *loopWorker {
 	cfg := rt.cfg
 	w := &loopWorker{
 		id:       id,
-		ws:       rt.net.NewWorkspace(),
-		grad:     paramvec.New(rt.pool),
-		sampler:  data.NewSampler(rt.ds.Len(), cfg.BatchSize, cfg.Seed, id),
+		gw:       rt.prob.newGradWorker(rt, id),
 		hist:     rt.hists[id],
 		tc:       rt.tcs[id],
 		tu:       rt.tus[id],
@@ -154,6 +150,10 @@ func (rt *runCtx) runWorkers(wg *sync.WaitGroup, st strategy) {
 }
 
 // workerLoop is THE training loop: gate, read, gradient, release, commit.
+// The gradient phase is delegated to the problem's gradWorker — sample picks
+// the minibatch untimed, compute produces the representation-generic step
+// and is what the Tc sampler measures — so one loop body serves dense
+// backprop and sparse logistic regression alike.
 func (rt *runCtx) workerLoop(id int, st strategy) {
 	cfg := rt.cfg
 	w := rt.newLoopWorker(id)
@@ -162,28 +162,26 @@ func (rt *runCtx) workerLoop(id int, st strategy) {
 		if w.param != nil {
 			w.param.Release()
 		}
-		w.grad.Release()
+		w.gw.close()
 	}()
 	timeCommit := st.loopTimesCommit()
 	for st.begin(w) {
 		w.iter++
 		pv := st.read(w)
-		batch := w.sampler.Next()
-		zero(w.grad.Theta)
+		w.gw.sample()
 		var t0 time.Time
 		if cfg.SampleTiming {
 			t0 = time.Now()
 		}
-		rt.net.BatchLossGrad(pv, w.grad.Theta, rt.ds, batch, w.ws)
+		s := w.gw.compute(pv, w.velocity)
 		if cfg.SampleTiming {
 			w.tc.Observe(time.Since(t0))
 		}
 		st.endRead(w)
-		step := rt.effectiveStep(w.grad.Theta, w.velocity)
 		if cfg.SampleTiming && timeCommit {
 			t0 = time.Now()
 		}
-		committed := st.commit(w, step)
+		committed := st.commit(w, s)
 		if cfg.SampleTiming && timeCommit && committed {
 			w.tu.Observe(time.Since(t0))
 		}
@@ -200,20 +198,6 @@ func (rt *runCtx) adaptedEta(tau int64) float64 {
 		return rt.cfg.Eta
 	}
 	return rt.cfg.Eta / (1 + beta*float64(tau))
-}
-
-// effectiveStep returns the vector the update rule should apply: the raw
-// gradient for plain SGD, or the heavy-ball velocity when momentum is on
-// (per-worker velocity — the extension documented in DESIGN.md §6).
-func (rt *runCtx) effectiveStep(grad, velocity []float64) []float64 {
-	if velocity == nil {
-		return grad
-	}
-	mu := rt.cfg.Momentum
-	for i, g := range grad {
-		velocity[i] = mu*velocity[i] + g
-	}
-	return velocity
 }
 
 func zero(x []float64) {

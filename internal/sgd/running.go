@@ -13,7 +13,6 @@ import (
 	"leashedsgd/internal/metrics"
 	"leashedsgd/internal/nn"
 	"leashedsgd/internal/paramvec"
-	"leashedsgd/internal/rng"
 )
 
 // ReadMeta labels one parameter read served by Running.ReadParams — the
@@ -70,9 +69,10 @@ type Running struct {
 	done chan struct{}
 }
 
-// Start validates the configuration exactly like Run and launches the
+// Start validates the dense configuration exactly like Run and launches the
 // workers, auxiliary goroutines and monitor, returning immediately with a
-// handle on the live run.
+// handle on the live run. The dense-representation checks live here; the
+// representation-independent launch is startProblem, shared with StartSparse.
 func Start(cfg Config, net *nn.Network, ds *data.Dataset) (*Running, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
@@ -83,6 +83,13 @@ func Start(cfg Config, net *nn.Network, ds *data.Dataset) (*Running, error) {
 	if net.OutDim() != ds.Classes {
 		return nil, fmt.Errorf("sgd: network output %d != dataset classes %d", net.OutDim(), ds.Classes)
 	}
+	return startProblem(cfg, &denseProblem{net: net, ds: ds})
+}
+
+// startProblem is the representation-generic launch: one code path builds the
+// runtime, initializes θ0 through the problem, and wires the strategy — every
+// algorithm × every gradient representation, no per-algorithm forks.
+func startProblem(cfg Config, prob problem) (*Running, error) {
 	if cfg.Eta <= 0 {
 		return nil, fmt.Errorf("sgd: step size must be positive, got %v", cfg.Eta)
 	}
@@ -94,12 +101,13 @@ func Start(cfg Config, net *nn.Network, ds *data.Dataset) (*Running, error) {
 			return nil, fmt.Errorf("sgd: AutoTune requires a Leashed variant, got %v", cfg.Algo)
 		}
 	}
-	cfg = cfg.withDefaults(ds.Len())
-	rt := newRuntime(cfg, net, ds)
+	cfg = cfg.withDefaults(prob.dataLen())
+	rt := newRuntime(cfg, prob)
 
-	// θ0 ← N(0, 0.01) (paper's rand_init).
+	// θ0 is representation-owned: N(0, 0.01) for dense networks (the paper's
+	// rand_init), the zero vector for sparse logistic regression.
 	initVec := paramvec.New(rt.pool)
-	initVec.RandInit(rng.New(cfg.Seed), nn.DefaultSigma)
+	rt.prob.initParams(initVec, cfg.Seed)
 
 	// One store-parameterized worker loop runs every algorithm; the
 	// strategy carries what differs (read protocol, publish protocol,

@@ -176,6 +176,14 @@ type Config struct {
 
 	// SampleTiming records per-iteration Tc/Tu durations (Fig. 9).
 	SampleTiming bool
+
+	// SparseAsDense forces a sparse run (RunSparse/StartSparse) to
+	// accumulate its gradients into full-dimension dense steps, so every
+	// publish protocol behaves exactly as on a dense problem — whole-vector
+	// copies and publishes on every chain. It is the control arm the
+	// scatter-publish benchmarks compare against and is ignored by dense
+	// runs (their steps are dense already).
+	SparseAsDense bool
 }
 
 // withDefaults returns cfg with unset knobs filled in.
@@ -325,6 +333,18 @@ type Result struct {
 	ShardStalenessMean []float64
 	ShardStaleReads    []int64
 
+	// TouchedComponents counts the parameter components written across all
+	// successful publishes (a dense publish writes its whole chain range;
+	// a sparse scatter-publish only the components its nonzeros hit), and
+	// ShardTouched is its per-shard breakdown (nil when the per-shard
+	// contract keeps the other Shard* slices nil). TouchedComponents /
+	// (Publishes × chain length) is the publish occupancy — 1.0 for dense
+	// steps, NNZ-driven ≪ 1 for sparse ones — reported next to FailedCAS
+	// in the harness tables and windowable by the autotune controller
+	// alongside its contention signals.
+	TouchedComponents int64
+	ShardTouched      []int64
+
 	// Publishes counts successful shard publishes over the whole run —
 	// for autotuned runs that includes retired epochs, where the
 	// per-shard breakdown above describes only the final epoch. Equal to
@@ -395,10 +415,9 @@ func (r *Result) TimePerUpdate() time.Duration {
 
 // runCtx is the per-run shared state between workers and the monitor.
 type runCtx struct {
-	cfg Config
-	net *nn.Network
-	ds  *data.Dataset
-	d   int
+	cfg  Config
+	prob problem
+	d    int
 
 	updates  atomic.Int64 // applied/published updates (the global order)
 	reserved atomic.Int64 // MaxUpdates budget claims: applied + in-flight, never above the budget
@@ -469,13 +488,12 @@ func (rt *runCtx) readTotals() (consistent, mixed int64) {
 	return consistent, mixed
 }
 
-func newRuntime(cfg Config, net *nn.Network, ds *data.Dataset) *runCtx {
+func newRuntime(cfg Config, prob problem) *runCtx {
 	rt := &runCtx{
 		cfg:     cfg,
-		net:     net,
-		ds:      ds,
-		d:       net.ParamCount(),
-		pool:    paramvec.NewPool(net.ParamCount()),
+		prob:    prob,
+		d:       prob.dim(),
+		pool:    paramvec.NewPool(prob.dim()),
 		done:    make(chan struct{}),
 		stopped: make(chan struct{}),
 	}
@@ -603,7 +621,7 @@ func Run(cfg Config, net *nn.Network, ds *data.Dataset) (*Result, error) {
 // taking the first EvalSubset rows — avoids class-biased loss on
 // class-ordered datasets (typical for IDX dumps).
 func (rt *runCtx) evalSubset() []int {
-	n := rt.ds.Len()
+	n := rt.prob.dataLen()
 	idx := make([]int, n)
 	if k := rt.cfg.EvalSubset; k < n {
 		rng.NewStream(rt.cfg.Seed, rt.cfg.Workers).Perm(idx)
@@ -625,13 +643,12 @@ func (rt *runCtx) evalSubset() []int {
 // interval.
 func (rt *runCtx) monitor(snapshot func(dst []float64)) *Result {
 	cfg := rt.cfg
-	ws := rt.net.NewWorkspace()
-	evalIdx := rt.evalSubset()
+	evalLoss := rt.prob.newLossEval(rt)
 	buf := make([]float64, rt.d)
 
 	res := &Result{}
 	snapshot(buf)
-	res.InitialLoss = rt.net.Loss(buf, rt.ds, evalIdx, ws)
+	res.InitialLoss = evalLoss(buf)
 	res.TargetLoss = cfg.EpsilonFrac * res.InitialLoss
 	res.FinalLoss = res.InitialLoss
 	res.Trace.Add(0, 0, res.InitialLoss)
@@ -665,7 +682,7 @@ func (rt *runCtx) monitor(snapshot func(dst []float64)) *Result {
 		elapsed := time.Since(start)
 		snapshot(buf)
 		upd := rt.updates.Load()
-		loss := rt.net.Loss(buf, rt.ds, evalIdx, ws)
+		loss := evalLoss(buf)
 		res.Trace.Add(elapsed, upd, loss)
 		res.MemSamples = append(res.MemSamples, rt.liveVectors())
 		res.FinalLoss = loss

@@ -30,7 +30,7 @@ type syncStrategy struct {
 	mtx    sync.Mutex // guards shared between rounds (monitor snapshots)
 	shared *paramvec.Vector
 	start  []chan struct{}
-	done   chan []float64
+	done   chan step
 }
 
 func (rt *runCtx) newSyncStrategy(initVec *paramvec.Vector) *syncStrategy {
@@ -38,7 +38,7 @@ func (rt *runCtx) newSyncStrategy(initVec *paramvec.Vector) *syncStrategy {
 		rt:     rt,
 		shared: initVec,
 		start:  make([]chan struct{}, rt.cfg.Workers),
-		done:   make(chan []float64, rt.cfg.Workers),
+		done:   make(chan step, rt.cfg.Workers),
 	}
 	for w := range st.start {
 		st.start[w] = make(chan struct{}, 1)
@@ -60,12 +60,13 @@ func (st *syncStrategy) read(w *loopWorker) paramvec.View {
 	return paramvec.FlatView(st.shared.Theta)
 }
 
-func (st *syncStrategy) commit(w *loopWorker, step []float64) bool {
-	// The gradient buffer stays untouched until the coordinator has
-	// collected it: the worker parks in begin until the next round signal,
-	// which the coordinator sends only after draining all m gradients.
-	// The update itself (and its Tu sample) happens coordinator-side.
-	st.done <- step
+func (st *syncStrategy) commit(w *loopWorker, s step) bool {
+	// The gradient buffers stay untouched until the coordinator has
+	// collected them: the worker parks in begin until the next round
+	// signal, which the coordinator sends only after draining all m
+	// gradients. The update itself (and its Tu sample) happens
+	// coordinator-side.
+	st.done <- s
 	return true
 }
 
@@ -93,7 +94,9 @@ func (st *syncStrategy) launchAux(wg *sync.WaitGroup) {
 			tensor.Fill(avg, 0)
 			for w := 0; w < cfg.Workers; w++ {
 				g := <-st.done
-				tensor.Axpy(1/float64(cfg.Workers), g, avg)
+				// Representation-generic averaging: dense steps Axpy the
+				// whole vector, sparse ones scatter only their nonzeros.
+				g.addScaled(avg, 1/float64(cfg.Workers))
 			}
 			st.mtx.Lock()
 			// The coordinator is the only reserver, so a failed

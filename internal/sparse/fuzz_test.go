@@ -1,0 +1,75 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodeFuzzDataset deserializes an arbitrary byte string into a Dataset
+// with NO sanitization beyond termination — indices may be negative,
+// out of range, unsorted or duplicated, values may be NaN/Inf, labels
+// arbitrary. Validate is the only gate under test.
+func decodeFuzzDataset(dim int, raw []byte) *Dataset {
+	ds := &Dataset{Dim: dim}
+	for len(raw) >= 2 && len(ds.Examples) < 64 {
+		nnz := int(raw[0]) % 16
+		label := int(int8(raw[1]))
+		raw = raw[2:]
+		ex := Example{Label: label}
+		for k := 0; k < nnz && len(raw) >= 4; k++ {
+			ex.Idx = append(ex.Idx, int32(binary.LittleEndian.Uint32(raw)))
+			raw = raw[4:]
+			// Values derived from the index bytes: cheap, and index
+			// corruption is what Validate is really guarding.
+			ex.Val = append(ex.Val, float64(int32(len(raw)))/3)
+		}
+		if len(raw) > 0 && raw[0]%5 == 0 {
+			// Occasionally desynchronize the parallel arrays.
+			ex.Val = ex.Val[:len(ex.Val)/2]
+			raw = raw[1:]
+		}
+		ds.Examples = append(ds.Examples, ex)
+	}
+	return ds
+}
+
+// FuzzSparseDataset asserts the Validate contract the training entry points
+// rely on: Validate never panics on arbitrary structure, and any dataset it
+// accepts can be consumed by Loss and Grad without out-of-range indexing.
+func FuzzSparseDataset(f *testing.F) {
+	f.Add(0, []byte(nil))
+	f.Add(-3, []byte{1, 1, 0, 0, 0, 0})
+	f.Add(200, []byte{8, 1, 5, 0, 0, 0, 9, 0, 0, 0, 200, 0, 0, 0})
+	ds := genSmall(1)
+	var enc []byte
+	for _, ex := range ds.Examples[:8] {
+		enc = append(enc, byte(len(ex.Idx)), byte(ex.Label))
+		for _, j := range ex.Idx {
+			enc = binary.LittleEndian.AppendUint32(enc, uint32(j))
+		}
+	}
+	f.Add(ds.Dim, enc)
+
+	f.Fuzz(func(t *testing.T, dim int, raw []byte) {
+		ds := decodeFuzzDataset(dim, raw)
+		if err := ds.Validate(); err != nil {
+			return
+		}
+		// Accepted by Validate: every index must now be safe to chase.
+		w := make([]float64, ds.Dim)
+		for i := range w {
+			w[i] = 0.1 * float64(i%7)
+		}
+		if l := Loss(w, ds); len(ds.Examples) > 0 && math.IsNaN(l) {
+			t.Fatalf("validated dataset produced NaN loss")
+		}
+		for _, ex := range ds.Examples {
+			Grad(w, ex, func(j int32, g float64) {
+				if int(j) >= ds.Dim || j < 0 {
+					t.Fatalf("Grad emitted out-of-range coordinate %d (dim %d)", j, ds.Dim)
+				}
+			})
+		}
+	})
+}

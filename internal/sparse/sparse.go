@@ -183,8 +183,6 @@ type Mode int
 const (
 	// ModeSeq is single-threaded SGD.
 	ModeSeq Mode = iota
-	// ModeLocked serializes every sparse update with a mutex.
-	ModeLocked
 	// ModeHogwild applies per-coordinate atomic adds with no other
 	// coordination — the original HOGWILD! scheme, collision-free with
 	// high probability when gradients are sparse.
@@ -203,6 +201,14 @@ type TrainConfig struct {
 }
 
 // Train runs sparse logistic regression SGD and returns the result.
+//
+// These trainers are the package's straight-line golden references: tens of
+// lines each, no pooling, no leases, no instrumentation — the oracles the
+// unified pipeline (sgd.RunSparse, which runs every algorithm over the same
+// dataset with first-class sparse steps) is validated against in tests, and
+// what the sparse example program compares its multi-worker runs to. The old
+// mutex-serialized mode is gone: sgd.RunSparse with Algo Async covers the
+// locked protocol with full measurement.
 func Train(cfg TrainConfig, ds *Dataset) (*TrainResult, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
@@ -226,61 +232,38 @@ func Train(cfg TrainConfig, ds *Dataset) (*TrainResult, error) {
 	switch cfg.Mode {
 	case ModeHogwild:
 		return trainHogwild(cfg, ds)
-	case ModeSeq, ModeLocked:
-		return trainLocked(cfg, ds)
+	case ModeSeq:
+		return trainSeq(cfg, ds)
 	default:
 		return nil, fmt.Errorf("sparse: unknown mode %d", cfg.Mode)
 	}
 }
 
-// trainLocked covers ModeSeq (workers=1, uncontended lock) and ModeLocked.
-func trainLocked(cfg TrainConfig, ds *Dataset) (*TrainResult, error) {
+// trainSeq is single-threaded SGD with no synchronization at all — the
+// simplest possible implementation, kept as the convergence oracle.
+func trainSeq(cfg TrainConfig, ds *Dataset) (*TrainResult, error) {
 	w := make([]float64, ds.Dim)
-	var mu sync.Mutex
-	var updates atomic.Int64
-	var targetAt atomic.Int64
-	targetAt.Store(-1)
-	stop := &atomic.Bool{}
-	var wg sync.WaitGroup
-	for wk := 0; wk < cfg.Workers; wk++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			r := rng.NewStream(cfg.Seed, id)
-			n := len(ds.Examples)
-			sinceEval := int64(0)
-			for !stop.Load() {
-				u := updates.Add(1)
-				if u > cfg.Updates {
-					updates.Add(-1)
-					return
-				}
-				ex := ds.Examples[r.Intn(n)]
-				mu.Lock()
-				Grad(w, ex, func(j int32, g float64) {
-					w[j] -= cfg.Eta * g
-				})
-				mu.Unlock()
-				sinceEval++
-				if cfg.TargetLoss > 0 && sinceEval >= cfg.EvalEvery {
-					sinceEval = 0
-					mu.Lock()
-					l := Loss(w, ds)
-					mu.Unlock()
-					if l <= cfg.TargetLoss {
-						targetAt.CompareAndSwap(-1, u)
-						stop.Store(true)
-					}
-				}
+	r := rng.NewStream(cfg.Seed, 0)
+	n := len(ds.Examples)
+	res := &TrainResult{FinalW: w}
+	sinceEval := int64(0)
+	for u := int64(1); u <= cfg.Updates; u++ {
+		ex := ds.Examples[r.Intn(n)]
+		Grad(w, ex, func(j int32, g float64) {
+			w[j] -= cfg.Eta * g
+		})
+		res.Updates = u
+		sinceEval++
+		if cfg.TargetLoss > 0 && sinceEval >= cfg.EvalEvery {
+			sinceEval = 0
+			if Loss(w, ds) <= cfg.TargetLoss {
+				res.TargetMet = true
+				res.UpdatesToTarget = u
+				break
 			}
-		}(wk)
+		}
 	}
-	wg.Wait()
-	res := &TrainResult{FinalLoss: Loss(w, ds), Updates: updates.Load(), FinalW: w}
-	if at := targetAt.Load(); at >= 0 {
-		res.TargetMet = true
-		res.UpdatesToTarget = at
-	}
+	res.FinalLoss = Loss(w, ds)
 	return res, nil
 }
 

@@ -133,17 +133,6 @@ func TestSeqTrainingConverges(t *testing.T) {
 	}
 }
 
-func TestLockedTrainingConverges(t *testing.T) {
-	ds := genSmall(13)
-	res, err := Train(TrainConfig{Mode: ModeLocked, Workers: 4, Eta: 0.1, Updates: 20000, Seed: 1}, ds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.FinalLoss >= math.Ln2/2 {
-		t.Fatalf("locked sparse SGD final loss %v", res.FinalLoss)
-	}
-}
-
 func TestHogwildTrainingConverges(t *testing.T) {
 	ds := genSmall(17)
 	res, err := Train(TrainConfig{Mode: ModeHogwild, Workers: 4, Eta: 0.1, Updates: 20000, Seed: 1}, ds)

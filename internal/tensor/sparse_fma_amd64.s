@@ -1,0 +1,42 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// AVX2 gather microkernel for the sparse row dot (sparse_fma_amd64.go).
+
+// func fmaSpDot(pi *int32, pv *float64, px *float64, n int) float64
+//
+// ret = Σ_{k<n} pv[k]·px[pi[k]], n % 8 == 0. Two independent 4-lane
+// accumulator chains hide the gather+FMA latency; VGATHERQPD consumes its
+// mask register, so the all-ones mask is rebuilt every iteration.
+TEXT ·fmaSpDot(SB), NOSPLIT, $0-40
+	MOVQ pi+0(FP), AX
+	MOVQ pv+8(FP), BX
+	MOVQ px+16(FP), CX
+	MOVQ n+24(FP), DX
+
+	VXORPD Y0, Y0, Y0 // accumulator, lanes 0-3
+	VXORPD Y1, Y1, Y1 // accumulator, lanes 4-7
+
+loop8:
+	VPMOVSXDQ (AX), Y2        // idx[k..k+3] sign-extended to qwords
+	VPMOVSXDQ 16(AX), Y3      // idx[k+4..k+7]
+	VPCMPEQQ  Y4, Y4, Y4      // fresh all-ones gather mask
+	VGATHERQPD Y4, (CX)(Y2*8), Y5
+	VPCMPEQQ  Y6, Y6, Y6
+	VGATHERQPD Y6, (CX)(Y3*8), Y7
+	VFMADD231PD (BX), Y5, Y0  // acc += val[k..k+3]·x[idx]
+	VFMADD231PD 32(BX), Y7, Y1
+	ADDQ $32, AX
+	ADDQ $64, BX
+	SUBQ $8, DX
+	JNZ  loop8
+
+	// Horizontal sum of the eight lanes.
+	VADDPD       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VHADDPD      X0, X0, X0
+	VMOVSD       X0, ret+32(FP)
+	VZEROUPPER
+	RET

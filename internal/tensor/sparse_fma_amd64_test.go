@@ -1,0 +1,44 @@
+//go:build amd64 && !noasm
+
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"leashedsgd/internal/rng"
+)
+
+// TestSpDotFMAMatchesPortable pins the AVX2 gather kernel to the portable
+// gather dot across lengths that hit the 8-wide bulk, the Go tail, and the
+// all-tail case. Skipped on hosts without AVX2+FMA.
+func TestSpDotFMAMatchesPortable(t *testing.T) {
+	if !fmaSparseEnabled {
+		t.Skip("AVX2+FMA not available; portable kernel is the only path")
+	}
+	r := rng.New(11)
+	const cols = 4096
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	for _, n := range []int{1, 3, 7, 8, 9, 15, 16, 17, 64, 65, 127, 256, 1000} {
+		t.Run(fmt.Sprintf("nnz%d", n), func(t *testing.T) {
+			a := randCSR(r, 1, cols, n)
+			idx, val := a.Row(0)
+			got := spDotFMA(idx, val, x)
+			want := spDotGo(idx, val, x)
+			if math.Abs(got-want) > 1e-10*(1+math.Abs(want)) {
+				t.Fatalf("spDotFMA = %v, want %v (n=%d)", got, want, n)
+			}
+			// Repeated indices are legal for the kernel even though CSR rows
+			// are strictly increasing — the gather must not dedupe.
+			dup := []int32{5, 5, 5, 5, 9, 9, 9, 9}
+			dv := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+			if g, w := spDotFMA(dup, dv, x), spDotGo(dup, dv, x); math.Abs(g-w) > 1e-12*(1+math.Abs(w)) {
+				t.Fatalf("spDotFMA dup = %v, want %v", g, w)
+			}
+		})
+	}
+}

@@ -76,6 +76,7 @@ import (
 	"leashedsgd/internal/nn"
 	"leashedsgd/internal/rng"
 	"leashedsgd/internal/sgd"
+	"leashedsgd/internal/sparse"
 )
 
 // Algorithm selects the parallel SGD variant. See the constants below.
@@ -177,6 +178,41 @@ func LoadMNIST(dir string) (*Dataset, error) {
 func LoadOrSynthesizeMNIST(dir string, samples int, seed uint64) (*Dataset, bool) {
 	return data.LoadOrGenerate(dir, samples, seed)
 }
+
+// SparseDataset is a sparse binary logistic-regression dataset — the
+// HOGWILD!-regime workload (d large, a handful of non-zeros per example) the
+// representation-generic pipeline trains with first-class sparse gradients.
+type SparseDataset = sparse.Dataset
+
+// SyntheticSparse generates a sparse logistic-regression dataset with a
+// planted ground-truth weight vector, n examples over dim features with nnz
+// non-zeros each. Deterministic per seed.
+func SyntheticSparse(n, dim, nnz int, seed uint64) *SparseDataset {
+	return sparse.Generate(sparse.GenConfig{N: n, Dim: dim, NNZ: nnz, Seed: seed, Noise: 0.02})
+}
+
+// TrainSparse runs one training run of the configured algorithm over a sparse
+// dataset. Every algorithm of the dense path is available; gradients flow
+// through the pipeline in sparse index/value form, so the Leashed family
+// scatter-publishes only the chains each step touches and HOGWILD! sweeps
+// only the shards it hits. BatchSize defaults to 1 (the sparse regime's
+// natural step granularity); Momentum is rejected — a dense velocity would
+// densify every step. Config.SparseAsDense forces dense whole-vector carries
+// of the same gradients, the control arm the sparse benchmarks compare
+// against.
+func TrainSparse(cfg Config, ds *SparseDataset) (*Result, error) {
+	return sgd.RunSparse(cfg, ds)
+}
+
+// StartTrainSparse is TrainSparse split in two, exactly as StartTrain is to
+// Train: the returned handle serves live parameter reads mid-run.
+func StartTrainSparse(cfg Config, ds *SparseDataset) (*Training, error) {
+	return sgd.StartSparse(cfg, ds)
+}
+
+// SparseLoss evaluates the mean logistic loss of dense weights w on a sparse
+// dataset (typically Result.FinalParams after TrainSparse).
+func SparseLoss(w []float64, ds *SparseDataset) float64 { return sparse.Loss(w, ds) }
 
 // Train runs one training run of the configured algorithm on the model and
 // dataset. It blocks until convergence, crash, or budget exhaustion, and
