@@ -35,7 +35,7 @@ func main() {
 	in := flag.String("i", "", "input path (default stdin)")
 	baseline := flag.String("baseline", "", "baseline BENCH_<n>.json to gate against (empty = no gate)")
 	maxRegress := flag.Float64("max-regress", 25, "max allowed ns/op regression vs baseline, percent")
-	allocGuard := flag.String("alloc-guard", "GradientReadAllocs",
+	allocGuard := flag.String("alloc-guard", "ReadAllocs",
 		"regexp of benchmarks whose allocs/op must be 0 (empty disables)")
 	flag.Parse()
 

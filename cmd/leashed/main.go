@@ -29,6 +29,7 @@ import (
 
 	"leashedsgd/internal/harness"
 	"leashedsgd/internal/report"
+	"leashedsgd/internal/serve"
 	"leashedsgd/internal/sgd"
 )
 
@@ -196,8 +197,12 @@ func runStep(step string, sc harness.Scale, threads, shardCounts []int, emit fun
 	case "serveload":
 		// Online-inference load sweep: closed-loop predict clients against a
 		// live autotuned training run, reporting throughput, tail latency,
-		// coalescing factor and the consistency-label mix.
-		emit(harness.ServeLoadSweep(sc, mid(threads), []int{1, 4, 16}, sc.MaxTime/4))
+		// coalescing factor and the consistency-label mix — once per read
+		// path, so the leased-vs-readfront comparison lands in one report.
+		emit(
+			harness.ServeLoadSweep(sc, mid(threads), []int{1, 4, 16}, sc.MaxTime/8, serve.StoreLeased),
+			harness.ServeLoadSweep(sc, mid(threads), []int{1, 4, 16}, sc.MaxTime/8, serve.StoreReadFront),
+		)
 	case "sparse":
 		// Sparse scatter-publish sweep: first-class sparse gradients
 		// against the dense whole-vector control arm across shard counts,
@@ -266,7 +271,7 @@ func usage() {
   leashed run <s1|s1-eta|s2|s3|s4|s5|fig9|shards|autotune|jointtune|serveload|sparse> [flags]
   leashed run-all [flags]
   leashed train [-algo LSH] [-arch mlp] [-workers N] [-shards S] [-autoshard] [-autotune] [-json] [-ckpt FILE] ...
-  leashed serve [-addr HOST:PORT] [-arch mlp] [-workers N] [-budget DUR] [-max-batch N] [-max-delay DUR] ...
+  leashed serve [-addr HOST:PORT] [-arch mlp] [-workers N] [-budget DUR] [-store leased|readfront] [-leash-age DUR] ...
   leashed table1
 flags: -scale small|paper -arch A -threads 1,2,4 -trials N -budget DUR -shards 1,2,4,8 -csv FILE`)
 }

@@ -10,6 +10,7 @@ import (
 
 	"leashedsgd/internal/data"
 	"leashedsgd/internal/nn"
+	"leashedsgd/internal/paramvec"
 	"leashedsgd/internal/serve"
 	"leashedsgd/internal/sgd"
 )
@@ -32,6 +33,9 @@ func runServe(args []string) {
 	budget := fs.Duration("budget", 60*time.Second, "training time budget (serving continues on the final parameters)")
 	maxBatch := fs.Int("max-batch", 0, "max coalesced predict batch size (0 = default)")
 	maxDelay := fs.Duration("max-delay", 0, "max request coalescing delay (0 = default, negative = disable)")
+	store := fs.String("store", serve.StoreLeased, "parameter read path: leased (per-chain seqlock leases) or readfront (RCU snapshot store)")
+	leashAge := fs.Duration("leash-age", 0, "readfront: max wall time a served snapshot may lag (0 = default 2ms)")
+	leashUpdates := fs.Int64("leash-updates", 0, "readfront: max published updates a served snapshot may lag (0 = age bound only)")
 	samples := fs.Int("samples", 1024, "dataset size")
 	seed := fs.Uint64("seed", 1, "seed")
 	mnistDir := fs.String("mnist", "", "real MNIST IDX directory (optional)")
@@ -71,7 +75,12 @@ func runServe(args []string) {
 		os.Exit(1)
 	}
 
-	srv, err := serve.New(net, run, serve.Config{MaxBatch: *maxBatch, MaxDelay: *maxDelay})
+	srv, err := serve.New(net, run, serve.Config{
+		MaxBatch: *maxBatch,
+		MaxDelay: *maxDelay,
+		Store:    *store,
+		Leash:    paramvec.ReadLeash{MaxAge: *leashAge, MaxUpdates: *leashUpdates},
+	})
 	if err != nil {
 		run.Stop()
 		run.Wait()
@@ -85,7 +94,7 @@ func runServe(args []string) {
 	}
 	fmt.Printf("training %s on %s: m=%d, autotune=%v, budget %v\n",
 		net.Arch(), dataset, *workers, *autoTune, *budget)
-	fmt.Printf("serving on http://%s  (POST /predict, GET /stats, GET /healthz)\n", *addr)
+	fmt.Printf("serving on http://%s  store=%s  (POST /predict, GET /stats, GET /healthz)\n", *addr, *store)
 
 	go func() {
 		res := run.Wait()

@@ -5,30 +5,40 @@ import (
 	"sync"
 	"time"
 
-	"leashedsgd/internal/rng"
 	"leashedsgd/internal/report"
+	"leashedsgd/internal/rng"
 	"leashedsgd/internal/serve"
 	"leashedsgd/internal/sgd"
 )
 
 // ServeLoadSweep is the serving-tier load experiment: for each client count,
 // start a live autotuned Leashed training run, stand a serve.Server on top
-// of it, and drive closed-loop predict load for perCell. The table reports
-// the read-dominated side of the system — throughput, p50/p99 latency, the
-// coalescing factor, and the consistency-label mix of what was served while
-// the workers were publishing and the controller re-sharding underneath.
-func ServeLoadSweep(sc Scale, workers int, clients []int, perCell time.Duration) *report.Table {
+// of it reading through the selected store (serve.StoreLeased or
+// serve.StoreReadFront), and drive closed-loop predict load for perCell. The
+// table reports the read-dominated side of the system — throughput, p50/p99
+// latency, the coalescing factor, and the consistency-label mix of what was
+// served while the workers were publishing and the controller re-sharding
+// underneath; readfront cells also report the worst measured snapshot
+// staleness.
+func ServeLoadSweep(sc Scale, workers int, clients []int, perCell time.Duration, store string) *report.Table {
+	if store == "" {
+		store = serve.StoreLeased
+	}
 	tbl := report.NewTable(
-		fmt.Sprintf("Serve load: %s, %d training workers, %v per cell", sc.Arch, workers, perCell),
-		"clients", "qps", "p50 ms", "p99 ms", "mean batch", "consistent", "mixed", "retired", "final")
+		fmt.Sprintf("Serve load: %s, %d training workers, store=%s, %v per cell", sc.Arch, workers, store, perCell),
+		"clients", "qps", "p50 ms", "p99 ms", "mean batch", "consistent", "mixed", "retired", "final", "max stale")
 	for _, c := range clients {
-		st := runServeCell(sc, workers, c, perCell)
+		st := runServeCell(sc, workers, c, perCell, store)
 		total := float64(st.Requests)
 		frac := func(n int64) string {
 			if total == 0 {
 				return "-"
 			}
 			return fmt.Sprintf("%.1f%%", 100*float64(n)/total)
+		}
+		stale := "-"
+		if st.Snapshot > 0 {
+			stale = fmt.Sprintf("%.2fms", float64(st.MaxStalenessAge)/float64(time.Millisecond))
 		}
 		tbl.AddRow(
 			fmt.Sprintf("%d", c),
@@ -40,6 +50,7 @@ func ServeLoadSweep(sc Scale, workers int, clients []int, perCell time.Duration)
 			frac(st.Mixed),
 			frac(st.RetiredEpoch),
 			frac(st.Final),
+			stale,
 		)
 	}
 	return tbl
@@ -48,7 +59,7 @@ func ServeLoadSweep(sc Scale, workers int, clients []int, perCell time.Duration)
 // runServeCell runs one cell: training for at least perCell (stopped early
 // once the load window closes), closed-loop clients each issuing the next
 // predict as soon as the previous answer lands.
-func runServeCell(sc Scale, workers, clients int, perCell time.Duration) serve.Stats {
+func runServeCell(sc Scale, workers, clients int, perCell time.Duration, store string) serve.Stats {
 	net, ds := sc.Arch.build(sc.Samples, sc.Seed)
 	cfg := sgd.Config{
 		Algo:        sgd.Leashed,
@@ -57,7 +68,7 @@ func runServeCell(sc Scale, workers, clients int, perCell time.Duration) serve.S
 		BatchSize:   sc.BatchSize,
 		Persistence: sgd.PersistenceInf,
 		Seed:        sc.Seed,
-		EpsilonFrac: 0,                      // profile run
+		EpsilonFrac: 0,                        // profile run
 		MaxTime:     perCell + 10*time.Second, // Stop ends it; this is a backstop
 		EvalEvery:   sc.EvalEvery,
 		AutoTune:    true,
@@ -66,7 +77,7 @@ func runServeCell(sc Scale, workers, clients int, perCell time.Duration) serve.S
 	if err != nil {
 		panic(err) // harness misconfiguration, like the other sweeps
 	}
-	srv, err := serve.New(net, run, serve.Config{})
+	srv, err := serve.New(net, run, serve.Config{Store: store})
 	if err != nil {
 		run.Stop()
 		run.Wait()

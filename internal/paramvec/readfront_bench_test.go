@@ -1,0 +1,130 @@
+package paramvec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// quietLeash parks the refresher: a huge age bound clamps the poll interval
+// to its 100ms ceiling, so no background fold runs inside an alloc
+// measurement window.
+var quietLeash = ReadLeash{MaxAge: time.Hour}
+
+// BenchmarkReadFrontReadAllocs asserts the snapshot read path is
+// allocation-free: one atomic front load, a refcount acquire/release, and the
+// user callback over the flat view — no copy, no lease machinery, regardless
+// of how many chains the wrapped store shards into. The name
+// substring-matches benchreport's -alloc-guard, so CI fails on any
+// allocation.
+func BenchmarkReadFrontReadAllocs(b *testing.B) {
+	const dim = 4096
+	for _, chains := range []int{1, 64} {
+		b.Run(fmt.Sprintf("chains=%d", chains), func(b *testing.B) {
+			inner := NewStore(dim, chains)
+			init := make([]float64, dim)
+			for i := range init {
+				init[i] = float64(i)
+			}
+			inner.PublishInit(init)
+			defer inner.Retire()
+			rf := NewReadFront(inner, quietLeash)
+			defer rf.Close()
+			var sink float64
+			read := func() {
+				rf.ReadParams(nil, nil, func(v View) {
+					sink += v.At(0) + v.At(dim-1)
+				})
+			}
+			read() // warm the front outside the measurement
+			allocs := testing.AllocsPerRun(50, read)
+			runtime.KeepAlive(sink)
+			b.ReportMetric(allocs, "allocs/op")
+			if allocs != 0 {
+				b.Errorf("readfront read path allocated %.1f times per op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkStoreReadPaths is the store-comparison microbench under the BENCH
+// ledger: the raw cost of one full-θ parameter read while publishers hammer
+// the store, leased seqlock acquire vs readfront snapshot, at 1 and 64
+// chains. This isolates what the serve-layer benches measure end-to-end: the
+// leased read walks every chain's reader registration (lines the publishers
+// also write), the readfront read is one pointer load off to the side.
+func BenchmarkStoreReadPaths(b *testing.B) {
+	const dim = 4096
+	for _, chains := range []int{1, 64} {
+		for _, path := range []string{"leased", "readfront"} {
+			b.Run(fmt.Sprintf("chains=%d/path=%s", chains, path), func(b *testing.B) {
+				inner := NewStore(dim, chains)
+				inner.PublishInit(make([]float64, dim))
+				defer inner.Retire()
+
+				// Two publishers scatter updates across all chains for the
+				// whole measurement, the contention regime of a live run.
+				stop := make(chan struct{})
+				var wg sync.WaitGroup
+				for p := 0; p < 2; p++ {
+					wg.Add(1)
+					go func(p int) {
+						defer wg.Done()
+						vecs := make([]*Vector, chains)
+						for c := 0; c < chains; c++ {
+							vecs[c] = inner.NewChainVec(c)
+						}
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							for c := 0; c < chains; c++ {
+								cur := inner.ChainLatest(c)
+								vecs[c].CopyFrom(cur)
+								vecs[c].T = cur.T + 1
+								vecs[c].Theta[0] += 1e-9
+								ok := inner.ChainTryPublish(c, cur, vecs[c])
+								cur.StopReading()
+								if ok {
+									vecs[c] = inner.NewChainVec(c)
+								}
+							}
+						}
+					}(p)
+				}
+				defer func() {
+					close(stop)
+					wg.Wait()
+				}()
+
+				var sink float64
+				switch path {
+				case "leased":
+					var lease Lease
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						v := lease.Acquire(inner)
+						sink += v.At(0) + v.At(dim-1)
+						lease.Release()
+					}
+				case "readfront":
+					rf := NewReadFront(inner, ReadLeash{MaxAge: 2 * time.Millisecond})
+					defer rf.Close()
+					rf.ReadParams(nil, nil, func(View) {}) // warm
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						rf.ReadParams(nil, nil, func(v View) {
+							sink += v.At(0) + v.At(dim-1)
+						})
+					}
+				}
+				b.StopTimer()
+				runtime.KeepAlive(sink)
+			})
+		}
+	}
+}

@@ -20,6 +20,12 @@ func storeCases(dim int) []struct {
 	}{
 		{"Shared", func() ParamStore { return NewSingle(dim) }},
 		{"ShardedShared", func() ParamStore { return NewSharded(dim, 4) }},
+		// The RCU read layer must be a drop-in ParamStore: chain writes
+		// delegate to the wrapped store, snapshot reads serve the folded
+		// front. The quiet leash parks the background refresher so the
+		// suite exercises the synchronous fold paths deterministically.
+		{"ReadFront/Shared", func() ParamStore { return NewReadFront(NewSingle(dim), quietLeash) }},
+		{"ReadFront/Sharded", func() ParamStore { return NewReadFront(NewSharded(dim, 4), quietLeash) }},
 	}
 }
 

@@ -67,5 +67,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"retired_epoch": st.RetiredEpoch,
 		"final":         st.Final,
 		"copied":        st.Copied,
+
+		"snapshot":              st.Snapshot,
+		"max_staleness_updates": st.MaxStalenessUpdates,
+		"max_staleness_ms":      float64(st.MaxStalenessAge) / float64(time.Millisecond),
 	})
 }

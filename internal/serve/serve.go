@@ -14,6 +14,13 @@
 // final parameters). Mixed-version views are legitimate under the paper's
 // model — but they are always labeled; torn reads are impossible by
 // construction (leased buffers are immutable once published).
+//
+// Config.Store selects between two live read paths: StoreLeased (above) and
+// StoreReadFront — an RCU double-buffered snapshot store
+// (paramvec.ReadFront) whose refresher amortizes ONE consistent snapshot
+// across all concurrent readers, bounded by a ReadLeash (the read-path
+// mirror of the paper's persistence bound Tp). Snapshot reads are always
+// consistent and carry their measured staleness.
 package serve
 
 import (
@@ -39,8 +46,19 @@ type Source interface {
 	ReadParams(l *paramvec.Lease, scratch []float64, fn func(paramvec.View)) sgd.ReadMeta
 }
 
-// The live training run satisfies Source.
-var _ Source = (*sgd.Running)(nil)
+// The live training run and the read-front snapshot store satisfy Source.
+var (
+	_ Source = (*sgd.Running)(nil)
+	_ Source = (*paramvec.ReadFront)(nil)
+)
+
+// Fronter is a source that can hand out a read-optimized snapshot store over
+// its live parameters. *sgd.Running implements it; Config.Store selects it.
+type Fronter interface {
+	Front(leash paramvec.ReadLeash) (*paramvec.ReadFront, error)
+}
+
+var _ Fronter = (*sgd.Running)(nil)
 
 // StaticSource serves a fixed parameter vector (a checkpoint, or a finished
 // run's FinalParams) through the Source interface. Reads are always
@@ -50,11 +68,32 @@ type StaticSource []float64
 // Dim returns the parameter dimension.
 func (s StaticSource) Dim() int { return len(s) }
 
-// ReadParams serves the fixed vector as a flat view.
-func (s StaticSource) ReadParams(_ *paramvec.Lease, _ []float64, fn func(paramvec.View)) sgd.ReadMeta {
-	fn(paramvec.FlatView(s))
-	return sgd.ReadMeta{Consistent: true, Final: true, Chains: 1}
+// ReadParams serves the fixed vector through the caller's scratch buffer
+// (grown only if undersized — the dispatcher pre-sizes it once, so the
+// steady state stays allocation-free, same as the live copy path) and labels
+// the read Copied: fn gets a private staging copy, never the source slice,
+// so a fn that writes through the view cannot corrupt the checkpoint.
+func (s StaticSource) ReadParams(_ *paramvec.Lease, scratch []float64, fn func(paramvec.View)) sgd.ReadMeta {
+	if len(scratch) < len(s) {
+		scratch = make([]float64, len(s))
+	}
+	buf := scratch[:len(s)]
+	copy(buf, s)
+	fn(paramvec.FlatView(buf))
+	return sgd.ReadMeta{Consistent: true, Final: true, Copied: true, Chains: 1}
 }
+
+// Store kinds for Config.Store.
+const (
+	// StoreLeased reads the live parameters through per-chain seqlock
+	// leases (zero-copy; reads may be labeled mixed-version under publish
+	// pressure). The default.
+	StoreLeased = "leased"
+	// StoreReadFront reads through an RCU double-buffered snapshot store:
+	// every read is one atomic pointer load of an amortized consistent
+	// snapshot at most Leash behind the live store.
+	StoreReadFront = "readfront"
+)
 
 // Config are the batcher knobs.
 type Config struct {
@@ -68,6 +107,15 @@ type Config struct {
 	MaxDelay time.Duration
 	// Queue is the pending-request buffer size. Default 256.
 	Queue int
+	// Store selects the parameter read path: StoreLeased (default) or
+	// StoreReadFront. StoreReadFront requires a source implementing
+	// Fronter (the live training run); the server owns the front and
+	// closes it on Close.
+	Store string
+	// Leash bounds the staleness of StoreReadFront snapshots; zero takes
+	// the paramvec.ReadLeash defaults (MaxAge 2ms). Ignored for
+	// StoreLeased.
+	Leash paramvec.ReadLeash
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +127,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Queue <= 0 {
 		c.Queue = 256
+	}
+	if c.Store == "" {
+		c.Store = StoreLeased
 	}
 	return c
 }
@@ -98,6 +149,16 @@ type Prediction struct {
 	Final bool `json:"final,omitempty"`
 	// Copied: served through a snapshot copy (non-leased algorithms).
 	Copied bool `json:"copied,omitempty"`
+	// Snapshot: served from a ReadFront snapshot (Config.Store
+	// "readfront") — one amortized consistent copy shared by all
+	// concurrent readers, with its measured staleness below.
+	Snapshot bool `json:"snapshot,omitempty"`
+	// StalenessUpdates is the snapshot's measured lag behind the live
+	// store in published updates at read time (snapshot reads only).
+	StalenessUpdates int64 `json:"staleness_updates,omitempty"`
+	// StalenessAge is the wall time since the snapshot was last known
+	// current (snapshot reads only).
+	StalenessAge time.Duration `json:"staleness_age_ns,omitempty"`
 	// Chains the leased view spanned (1 = flat).
 	Chains int `json:"chains"`
 	// Batch is the coalesced batch size this request was served in.
@@ -126,6 +187,11 @@ type Server struct {
 	src Source
 	cfg Config
 
+	// front is the server-owned snapshot store when cfg.Store is
+	// StoreReadFront (src is then the underlying Fronter); closed with the
+	// server.
+	front *paramvec.ReadFront
+
 	mu     sync.RWMutex // closed vs. in-flight Predict enqueues
 	closed bool
 	reqs   chan request
@@ -136,17 +202,35 @@ type Server struct {
 }
 
 // New starts a server answering predictions for net with parameters from
-// src.
+// src. With Config.Store == StoreReadFront, src must implement Fronter; the
+// server reads through a snapshot front it owns and closes.
 func New(net *nn.Network, src Source, cfg Config) (*Server, error) {
 	if net.ParamCount() != src.Dim() {
 		return nil, fmt.Errorf("serve: network has %d parameters, source %d", net.ParamCount(), src.Dim())
 	}
+	cfg = cfg.withDefaults()
 	s := &Server{
 		net:  net,
 		src:  src,
-		cfg:  cfg.withDefaults(),
-		reqs: make(chan request, cfg.withDefaults().Queue),
+		cfg:  cfg,
+		reqs: make(chan request, cfg.Queue),
 		quit: make(chan struct{}),
+	}
+	switch cfg.Store {
+	case StoreLeased:
+	case StoreReadFront:
+		f, ok := src.(Fronter)
+		if !ok {
+			return nil, fmt.Errorf("serve: store %q requires a live-run source, got %T", cfg.Store, src)
+		}
+		rf, err := f.Front(cfg.Leash)
+		if err != nil {
+			return nil, err
+		}
+		s.front = rf
+		s.src = rf
+	default:
+		return nil, fmt.Errorf("serve: unknown store %q (want %q or %q)", cfg.Store, StoreLeased, StoreReadFront)
 	}
 	s.stats.lat = metrics.NewHist(latencyBound)
 	s.wg.Add(1)
@@ -154,8 +238,9 @@ func New(net *nn.Network, src Source, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the dispatcher. In-flight and queued requests are answered
-// with ErrClosed; Predict calls after Close return ErrClosed immediately.
+// Close stops the dispatcher (and the server-owned snapshot front, if any).
+// In-flight and queued requests are answered with ErrClosed; Predict calls
+// after Close return ErrClosed immediately.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -166,6 +251,9 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	close(s.quit)
 	s.wg.Wait()
+	if s.front != nil {
+		s.front.Close()
+	}
 }
 
 // Predict answers one request, blocking until its batch is served. Safe for
@@ -259,14 +347,17 @@ func (s *Server) dispatch() {
 			probs := make([]float64, s.net.OutDim())
 			nn.SoftmaxInto(logits.Row(i), probs)
 			r.resp <- result{pred: Prediction{
-				Class:        tensor.ArgMax(probs),
-				Probs:        probs,
-				Consistent:   meta.Consistent,
-				RetiredEpoch: meta.Retired,
-				Final:        meta.Final,
-				Copied:       meta.Copied,
-				Chains:       meta.Chains,
-				Batch:        B,
+				Class:            tensor.ArgMax(probs),
+				Probs:            probs,
+				Consistent:       meta.Consistent,
+				RetiredEpoch:     meta.Retired,
+				Final:            meta.Final,
+				Copied:           meta.Copied,
+				Snapshot:         meta.Snapshot,
+				StalenessUpdates: meta.StalenessUpdates,
+				StalenessAge:     meta.StalenessAge,
+				Chains:           meta.Chains,
+				Batch:            B,
 			}}
 		}
 		s.stats.observe(pend, now, meta)
@@ -298,17 +389,20 @@ const (
 )
 
 type serverStats struct {
-	mu         sync.Mutex
-	requests   int64
-	batches    int64
-	batchSum   int64
-	consistent int64
-	mixed      int64
-	retired    int64
-	final      int64
-	copied     int64
-	lat        *metrics.Hist
-	maxLat     time.Duration
+	mu          sync.Mutex
+	requests    int64
+	batches     int64
+	batchSum    int64
+	consistent  int64
+	mixed       int64
+	retired     int64
+	final       int64
+	copied      int64
+	snapshot    int64
+	maxStaleUpd int64
+	maxStaleAge time.Duration
+	lat         *metrics.Hist
+	maxLat      time.Duration
 }
 
 func (st *serverStats) observe(pend []request, now time.Time, meta sgd.ReadMeta) {
@@ -330,6 +424,15 @@ func (st *serverStats) observe(pend []request, now time.Time, meta sgd.ReadMeta)
 	}
 	if meta.Copied {
 		st.copied += int64(len(pend))
+	}
+	if meta.Snapshot {
+		st.snapshot += int64(len(pend))
+		if meta.StalenessUpdates > st.maxStaleUpd {
+			st.maxStaleUpd = meta.StalenessUpdates
+		}
+		if meta.StalenessAge > st.maxStaleAge {
+			st.maxStaleAge = meta.StalenessAge
+		}
 	}
 	for _, r := range pend {
 		d := now.Sub(r.enq)
@@ -355,6 +458,12 @@ type Stats struct {
 	// epoch, reads of the immutable final parameters, snapshot-copy
 	// reads.
 	Consistent, Mixed, RetiredEpoch, Final, Copied int64
+	// Snapshot counts requests served from a ReadFront snapshot;
+	// MaxStalenessUpdates/MaxStalenessAge are the worst measured snapshot
+	// staleness over those requests.
+	Snapshot            int64
+	MaxStalenessUpdates int64
+	MaxStalenessAge     time.Duration
 }
 
 // Stats returns a snapshot of the counters since the server started.
@@ -373,6 +482,10 @@ func (s *Server) Stats() Stats {
 		RetiredEpoch: st.retired,
 		Final:        st.final,
 		Copied:       st.copied,
+
+		Snapshot:            st.snapshot,
+		MaxStalenessUpdates: st.maxStaleUpd,
+		MaxStalenessAge:     st.maxStaleAge,
 	}
 	if st.batches > 0 {
 		out.MeanBatch = float64(st.batchSum) / float64(st.batches)

@@ -242,6 +242,20 @@ func (st *leashedStrategy) leaseLive(l *paramvec.Lease) paramvec.View {
 	return l.Acquire(st.epoch.store)
 }
 
+// pinStore pins the live epoch's store for a ReadFront fold: autotuned runs
+// hold the epoch read lock across the pin window, so the controller's
+// re-shard (write lock) waits for an in-flight fold exactly as it waits for
+// in-flight worker iterations. Static runs return the fixed store bare — the
+// caller's run-level pin (Running.pinStore) already orders it against the
+// end-of-run retirement.
+func (st *leashedStrategy) pinStore() (paramvec.ParamStore, func()) {
+	if st.auto != nil {
+		st.auto.mu.RLock()
+		return st.auto.epoch.store, st.auto.mu.RUnlock
+	}
+	return st.epoch.store, func() {}
+}
+
 // launchAux starts the autotune controller for autotuned runs.
 func (st *leashedStrategy) launchAux(wg *sync.WaitGroup) {
 	if st.auto != nil {

@@ -15,29 +15,12 @@ import (
 	"leashedsgd/internal/paramvec"
 )
 
-// ReadMeta labels one parameter read served by Running.ReadParams — the
-// consistency metadata a served prediction carries (the serving-tier analogue
-// of Result.ConsistentReads/MixedReads).
-type ReadMeta struct {
-	// Consistent reports that the view was provably one global state: no
-	// chain published during the read window and the store stayed live.
-	// When false the view may mix chain versions — legitimate under the
-	// paper's model, but it must be labeled.
-	Consistent bool
-	// Retired reports that the lease outlived its epoch: the autotuner
-	// re-sharded (or the run ended) while the read was in flight. The
-	// buffers were valid for the whole window but describe a dead epoch.
-	Retired bool
-	// Final reports that the run had already ended and the read was served
-	// from the immutable final parameters.
-	Final bool
-	// Copied reports that the parameters were copied through the
-	// strategy's snapshot rather than leased zero-copy (algorithms without
-	// a leased read path).
-	Copied bool
-	// Chains is the number of chains the view spanned (1 for flat reads).
-	Chains int
-}
+// ReadMeta labels one parameter read served by Running.ReadParams or a
+// ReadFront snapshot — the consistency metadata a served prediction carries
+// (the serving-tier analogue of Result.ConsistentReads/MixedReads). It lives
+// in paramvec so the snapshot store can return it directly; the alias keeps
+// every existing sgd.ReadMeta reference valid.
+type ReadMeta = paramvec.ReadMeta
 
 // liveLeaser is implemented by strategies whose live parameters can be
 // leased zero-copy by readers outside the worker pool (the Leashed family).
@@ -47,6 +30,17 @@ type liveLeaser interface {
 	// caller computes against the returned view unpinned and classifies
 	// the read at Release.
 	leaseLive(l *paramvec.Lease) paramvec.View
+}
+
+// storePinner is implemented by strategies whose live publication store can
+// be pinned — protected against retirement — for a bounded window by readers
+// outside the worker pool. ReadFront folds run under this pin.
+type storePinner interface {
+	// pinStore returns the current publication store and a release func;
+	// the store cannot be retired (by the autotuner's re-shard or the
+	// end-of-run cleanup) until release is called. Pins must be
+	// short-lived: an autotuned run's re-shard waits on them.
+	pinStore() (paramvec.ParamStore, func())
 }
 
 // Running is a live training run started by Start. Exactly one goroutine may
@@ -64,6 +58,12 @@ type Running struct {
 	readMu sync.RWMutex
 	closed bool
 	final  []float64
+
+	// frontMu guards the live ReadFront registry; finish freezes every
+	// registered front onto the final parameters before the store retires.
+	frontMu      sync.Mutex
+	fronts       []*paramvec.ReadFront
+	frontsClosed bool
 
 	res  *Result
 	done chan struct{}
@@ -155,6 +155,17 @@ func (r *Running) finish() {
 	r.closed = true
 	r.final = append([]float64(nil), res.FinalParams...)
 	r.readMu.Unlock()
+	// Freeze every live ReadFront onto the final parameters BEFORE the
+	// store retires: their refreshers stop consulting the (about to be
+	// dead) store and serve the terminal snapshot with zero staleness.
+	r.frontMu.Lock()
+	r.frontsClosed = true
+	fronts := r.fronts
+	r.fronts = nil
+	r.frontMu.Unlock()
+	for _, rf := range fronts {
+		rf.Freeze(r.final)
+	}
 	st.cleanup()
 
 	// Merge per-worker instrumentation.
@@ -266,4 +277,55 @@ func (r *Running) ReadParams(l *paramvec.Lease, scratch []float64, fn func(param
 	r.readMu.RUnlock()
 	fn(paramvec.FlatView(buf))
 	return ReadMeta{Consistent: true, Copied: true, Chains: 1}
+}
+
+// pinStore pins the run's live publication store for a ReadFront fold: the
+// read lock blocks the end-of-run teardown (closed flips under the write
+// lock before the store retires) and the strategy pin blocks the autotuner's
+// epoch swap, so the returned store cannot be retired until release.
+func (r *Running) pinStore() (paramvec.ParamStore, func()) {
+	r.readMu.RLock()
+	if r.closed {
+		r.readMu.RUnlock()
+		return nil, nil
+	}
+	st, unpin := r.st.(storePinner).pinStore()
+	return st, func() {
+		unpin()
+		r.readMu.RUnlock()
+	}
+}
+
+// Front returns a read-optimized snapshot store over this run's live
+// parameters: an RCU double-buffered ReadFront whose refresher keeps one
+// amortized consistent snapshot within leash of the workers' publishes —
+// the serving tier's read-mostly path (serve.Config.Store "readfront").
+// When the run ends the front freezes onto the final parameters and serves
+// them with zero staleness; a Front taken after the run ends starts frozen.
+// The caller should Close the front when done serving (freezing closes it
+// too; Close is idempotent). Errors for algorithms without a pinnable
+// publication store (only the Leashed family has one) unless the run has
+// already ended.
+func (r *Running) Front(leash paramvec.ReadLeash) (*paramvec.ReadFront, error) {
+	if _, ok := r.st.(storePinner); !ok {
+		r.readMu.RLock()
+		closed := r.closed
+		r.readMu.RUnlock()
+		if !closed {
+			return nil, fmt.Errorf("sgd: %v has no pinnable publication store; a live ReadFront requires a Leashed variant", r.rt.cfg.Algo)
+		}
+	}
+	rf := paramvec.NewReadFrontPinned(r.rt.d, r.pinStore, leash)
+	r.frontMu.Lock()
+	if r.frontsClosed {
+		r.frontMu.Unlock()
+		r.readMu.RLock()
+		final := r.final
+		r.readMu.RUnlock()
+		rf.Freeze(final)
+		return rf, nil
+	}
+	r.fronts = append(r.fronts, rf)
+	r.frontMu.Unlock()
+	return rf, nil
 }
