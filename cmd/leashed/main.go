@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	leashed run <step> [flags]     run one step: s1, s1-eta, s2, s3, s4, s5, fig9, shards, autotune, jointtune, serveload, sparse
+//	leashed run <step> [flags]     run one step: s1, s1-eta, s2, s3, s4, s5, fig9, shards, autotune, jointtune, serveload, sparse, chaos
 //	leashed run-all [flags]        run every step at the configured scale
 //	leashed serve [flags]          HTTP prediction server over a live training run
 //	leashed table1                 print the experiment-plan summary
@@ -122,7 +122,7 @@ func main() {
 		}
 	}
 
-	steps := []string{"s1", "s1-eta", "s2", "s3", "s4", "s5", "fig9", "shards", "autotune", "jointtune", "serveload", "sparse"}
+	steps := []string{"s1", "s1-eta", "s2", "s3", "s4", "s5", "fig9", "shards", "autotune", "jointtune", "serveload", "sparse", "chaos"}
 	if cmd == "run" {
 		if fs.NArg() != 1 {
 			fmt.Fprintf(os.Stderr, "run needs exactly one step (%s)\n", strings.Join(steps, ", "))
@@ -211,6 +211,11 @@ func runStep(step string, sc harness.Scale, threads, shardCounts []int, emit fun
 		ssc := harness.SmallSparse()
 		ssc.MaxTime = sc.MaxTime
 		emit(harness.SparseSweep(ssc, m, shardCounts))
+	case "chaos":
+		// Fault-injection survival matrix: deterministic worker panics and
+		// publish failures at increasing rates, per algorithm, with a
+		// kill-at-first-checkpoint + resume arm per faulted cell.
+		emit(harness.ChaosSweep(sc, mid(threads), []float64{0.002, 0.01, 0.05}))
 	case "fig9":
 		archs := []harness.Arch{harness.SmallMLP, harness.SmallCNN}
 		if sc.Arch == harness.PaperMLP || sc.Arch == harness.PaperCNN {
@@ -268,9 +273,9 @@ func parseArch(s string) (harness.Arch, error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  leashed run <s1|s1-eta|s2|s3|s4|s5|fig9|shards|autotune|jointtune|serveload|sparse> [flags]
+  leashed run <s1|s1-eta|s2|s3|s4|s5|fig9|shards|autotune|jointtune|serveload|sparse|chaos> [flags]
   leashed run-all [flags]
-  leashed train [-algo LSH] [-arch mlp] [-workers N] [-shards S] [-autoshard] [-autotune] [-json] [-ckpt FILE] ...
+  leashed train [-algo LSH] [-arch mlp] [-workers N] [-shards S] [-autoshard] [-autotune] [-json] [-ckpt FILE] [-ckpt-every DUR] [-ckpt-keep N] [-resume] [-updates N] ...
   leashed serve [-addr HOST:PORT] [-arch mlp] [-workers N] [-budget DUR] [-store leased|readfront] [-leash-age DUR] ...
   leashed table1
 flags: -scale small|paper -arch A -threads 1,2,4 -trials N -budget DUR -shards 1,2,4,8 -csv FILE`)

@@ -37,6 +37,10 @@ func runTrain(args []string) {
 	sparseNNZ := fs.Int("nnz", 64, "non-zeros per sparse example (with -sparse)")
 	sparseAsDense := fs.Bool("sparse-as-dense", false, "carry sparse gradients as dense steps (control arm, with -sparse)")
 	ckpt := fs.String("ckpt", "", "save trained model checkpoint to this path")
+	ckptEvery := fs.Duration("ckpt-every", 0, "also checkpoint mid-run on this cadence (rotated FILE.NNNNNN beside -ckpt)")
+	ckptKeep := fs.Int("ckpt-keep", 0, "rotated mid-run checkpoints to retain (0 = default)")
+	resume := fs.Bool("resume", false, "resume from the newest valid rotated checkpoint beside -ckpt")
+	updates := fs.Int64("updates", 0, "update budget (0 = unbounded; with -resume, the ORIGINAL budget)")
 	jsonOut := fs.Bool("json", false, "emit the result summary as JSON")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -72,9 +76,25 @@ func runTrain(args []string) {
 		AutoTune:        *autoTune,
 		EpsilonFrac:     *epsilon,
 		MaxTime:         *budget,
+		MaxUpdates:      *updates,
 		Seed:            *seed,
 		Momentum:        *momentum,
 		TauAdaptiveBeta: *tauBeta,
+	}
+	if *ckptEvery > 0 || *resume {
+		if *ckpt == "" {
+			fmt.Fprintln(os.Stderr, "-ckpt-every/-resume need -ckpt FILE as the checkpoint base path")
+			os.Exit(2)
+		}
+		if *sparseRun {
+			fmt.Fprintln(os.Stderr, "-ckpt-every/-resume: not supported for -sparse runs")
+			os.Exit(2)
+		}
+		cfg.Checkpoint = leashedsgd.CheckpointConfig{
+			Every: *ckptEvery,
+			Path:  *ckpt,
+			Keep:  *ckptKeep,
+		}
 	}
 
 	var model *leashedsgd.Model
@@ -120,7 +140,15 @@ func runTrain(args []string) {
 		ds, real = leashedsgd.LoadOrSynthesizeMNIST(*mnistDir, *samples, *seed)
 		archLabel = model.Arch()
 		var err error
-		res, err = leashedsgd.Train(cfg, model, ds)
+		if *resume {
+			var tr *leashedsgd.Training
+			tr, err = leashedsgd.ResumeTrain(cfg, model, ds)
+			if err == nil {
+				res = tr.Wait()
+			}
+		} else {
+			res, err = leashedsgd.Train(cfg, model, ds)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -177,6 +205,17 @@ func runTrain(args []string) {
 		if res.TpTrajectory != nil {
 			out["tp_trajectory"] = res.TpTrajectory
 		}
+		if res.ResumedFrom > 0 {
+			out["resumed_from"] = res.ResumedFrom
+		}
+		if len(res.WorkerFaults) > 0 {
+			out["worker_faults"] = len(res.WorkerFaults)
+			out["worker_restarts"] = res.WorkerRestarts
+		}
+		if res.Checkpoints > 0 || res.CheckpointErrors > 0 {
+			out["checkpoints"] = res.Checkpoints
+			out["checkpoint_errors"] = res.CheckpointErrors
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -206,6 +245,17 @@ func runTrain(args []string) {
 	if n := len(res.TpTrajectory); n > 0 {
 		fmt.Printf("autotune Tp trajectory %v (final Tp=%d)\n",
 			res.TpTrajectory, res.TpTrajectory[n-1])
+	}
+	if res.ResumedFrom > 0 {
+		fmt.Printf("resumed from checkpoint at update %d (%d applied this leg)\n",
+			res.ResumedFrom, res.TotalUpdates)
+	}
+	if n := len(res.WorkerFaults); n > 0 {
+		fmt.Printf("worker faults recovered: %d (%d respawns)\n", n, res.WorkerRestarts)
+	}
+	if res.Checkpoints > 0 || res.CheckpointErrors > 0 {
+		fmt.Printf("mid-run checkpoints: %d written, %d failed\n",
+			res.Checkpoints, res.CheckpointErrors)
 	}
 	if *ckpt != "" {
 		fmt.Printf("checkpoint written to %s\n", *ckpt)

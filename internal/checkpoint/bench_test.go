@@ -1,0 +1,51 @@
+package checkpoint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// Checkpoint I/O microbenchmarks at the paper-MLP scale (~135k parameters,
+// ~1 MiB files): the per-save cost the mid-run cadence pays and the per-load
+// cost resume pays. Part of the BENCH trajectory.
+
+const benchDim = 134794
+
+func benchParams() []float64 {
+	params := make([]float64, benchDim)
+	for i := range params {
+		params[i] = float64(i%97) * 0.013
+	}
+	return params
+}
+
+func BenchmarkCheckpointSave(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.ckpt")
+	params := benchParams()
+	meta := midrunMeta(1000)
+	meta.Dim = benchDim
+	b.SetBytes(benchDim * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Save(path, meta, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointLoad(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.ckpt")
+	params := benchParams()
+	meta := midrunMeta(1000)
+	meta.Dim = benchDim
+	if err := Save(path, meta, params); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(benchDim * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Load(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

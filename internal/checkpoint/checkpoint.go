@@ -1,6 +1,7 @@
 // Package checkpoint persists trained parameter vectors to disk and loads
-// them back, with integrity checking — the piece a downstream user needs to
-// keep models trained by the library.
+// them back, with integrity checking — both the final model a downstream
+// user keeps and the rotated mid-run checkpoints the trainer writes on
+// cadence so a crashed run can resume (see Rotator / LoadNewest).
 //
 // Format (little-endian):
 //
@@ -20,12 +21,28 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"time"
 )
 
 var magic = [8]byte{'L', 'S', 'H', 'S', 'G', 'D', 0, 1}
 
-// Meta describes the checkpointed model.
+const (
+	// MaxMetaLen caps the JSON metadata section. A checkpoint's meta is a
+	// few hundred bytes; a dlen anywhere near this bound is hostile or
+	// corrupt, and Read fails fast instead of allocating for it — the same
+	// alloc-bomb hardening the IDX header path applies.
+	MaxMetaLen = 1 << 20
+	// MaxDim caps the parameter count Read will decode (64M float64s,
+	// 512 MiB — far above any model this library trains). Combined with the
+	// chunked parameter decode, a hostile Dim never drives an allocation
+	// larger than the bytes the reader actually supplies.
+	MaxDim = 1 << 26
+)
+
+// Meta describes the checkpointed model. The resume-state fields (Seed
+// through MaxUpdates) are populated only by mid-run checkpoints; final model
+// checkpoints leave them zero and they are omitted from the JSON.
 type Meta struct {
 	Arch      string    `json:"arch"`
 	Dim       int       `json:"dim"`
@@ -33,6 +50,16 @@ type Meta struct {
 	FinalLoss float64   `json:"final_loss,omitempty"`
 	Updates   int64     `json:"updates,omitempty"`
 	SavedAt   time.Time `json:"saved_at"`
+
+	// Resume state: enough to restart the run where it left off.
+	Seed       uint64 `json:"seed,omitempty"`        // the run's original Config.Seed
+	RNGState   uint64 `json:"rng_state,omitempty"`   // derived seed for the resumed run's sample streams
+	Shards     int    `json:"shards,omitempty"`      // shard count S at save time
+	Tp         int    `json:"tp,omitempty"`          // persistence bound at save time (-1 = unbounded)
+	SPos       int    `json:"s_pos,omitempty"`       // autotuner shard-ladder position at save time
+	TpPos      int    `json:"tp_pos,omitempty"`      // autotuner Tp-ladder position at save time
+	AutoTune   bool   `json:"auto_tune,omitempty"`   // run had the joint (Tp, S) controller on
+	MaxUpdates int64  `json:"max_updates,omitempty"` // the run's original total budget
 }
 
 // Write serializes the checkpoint to w.
@@ -66,54 +93,96 @@ func Write(w io.Writer, meta Meta, params []float64) error {
 	return err
 }
 
-// Read parses a checkpoint from r, verifying magic and CRC.
+// Read parses a checkpoint from r, verifying magic and CRC. It streams: the
+// header is validated before the metadata is read, the metadata length is
+// capped, and the parameter section is decoded in bounded chunks sized by
+// what the reader actually delivers — a hostile header fails fast instead of
+// driving a giant allocation.
 func Read(r io.Reader) (Meta, []float64, error) {
-	raw, err := io.ReadAll(r)
-	if err != nil {
-		return Meta{}, nil, fmt.Errorf("checkpoint: reading: %w", err)
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+
+	var hdr [12]byte
+	if _, err := io.ReadFull(tr, hdr[:]); err != nil {
+		return Meta{}, nil, fmt.Errorf("checkpoint: truncated header: %w", err)
 	}
-	if len(raw) < len(magic)+4+4 {
-		return Meta{}, nil, fmt.Errorf("checkpoint: truncated (%d bytes)", len(raw))
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return Meta{}, nil, fmt.Errorf("checkpoint: bad magic %q", hdr[:8])
 	}
-	if !bytes.Equal(raw[:8], magic[:]) {
-		return Meta{}, nil, fmt.Errorf("checkpoint: bad magic %q", raw[:8])
+	metaLen := binary.LittleEndian.Uint32(hdr[8:12])
+	if metaLen > MaxMetaLen {
+		return Meta{}, nil, fmt.Errorf("checkpoint: meta length %d exceeds cap %d", metaLen, MaxMetaLen)
 	}
-	body, crcBytes := raw[:len(raw)-4], raw[len(raw)-4:]
-	wantCRC := binary.LittleEndian.Uint32(crcBytes)
-	if got := crc32.ChecksumIEEE(body); got != wantCRC {
-		return Meta{}, nil, fmt.Errorf("checkpoint: CRC mismatch (file corrupt): %08x != %08x", got, wantCRC)
-	}
-	metaLen := int(binary.LittleEndian.Uint32(raw[8:12]))
-	if 12+metaLen > len(body) {
-		return Meta{}, nil, fmt.Errorf("checkpoint: meta length %d exceeds file", metaLen)
+	metaJSON := make([]byte, metaLen)
+	if _, err := io.ReadFull(tr, metaJSON); err != nil {
+		return Meta{}, nil, fmt.Errorf("checkpoint: truncated meta: %w", err)
 	}
 	var meta Meta
-	if err := json.Unmarshal(raw[12:12+metaLen], &meta); err != nil {
+	if err := json.Unmarshal(metaJSON, &meta); err != nil {
 		return Meta{}, nil, fmt.Errorf("checkpoint: decoding meta: %w", err)
 	}
-	paramBytes := body[12+metaLen:]
-	if len(paramBytes)%8 != 0 {
-		return Meta{}, nil, fmt.Errorf("checkpoint: parameter section not 8-byte aligned")
+	if meta.Dim < 0 || meta.Dim > MaxDim {
+		return Meta{}, nil, fmt.Errorf("checkpoint: dimension %d outside [0, %d]", meta.Dim, MaxDim)
 	}
-	d := len(paramBytes) / 8
-	if meta.Dim != d {
-		return Meta{}, nil, fmt.Errorf("checkpoint: meta.Dim %d != stored %d parameters", meta.Dim, d)
+
+	params := make([]float64, 0, min(meta.Dim, 8192))
+	var chunk [64 * 1024]byte
+	for remaining := meta.Dim * 8; remaining > 0; {
+		n := min(len(chunk), remaining)
+		if _, err := io.ReadFull(tr, chunk[:n]); err != nil {
+			return Meta{}, nil, fmt.Errorf("checkpoint: truncated parameters at %d/%d: %w",
+				len(params), meta.Dim, err)
+		}
+		for i := 0; i < n; i += 8 {
+			params = append(params, math.Float64frombits(binary.LittleEndian.Uint64(chunk[i:])))
+		}
+		remaining -= n
 	}
-	params := make([]float64, d)
-	for i := range params {
-		params[i] = math.Float64frombits(binary.LittleEndian.Uint64(paramBytes[i*8:]))
+
+	// The stored CRC covers everything above it, so it is read from r
+	// directly (not through the tee).
+	sum := crc.Sum32()
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return Meta{}, nil, fmt.Errorf("checkpoint: truncated CRC: %w", err)
+	}
+	if want := binary.LittleEndian.Uint32(tail[:]); sum != want {
+		return Meta{}, nil, fmt.Errorf("checkpoint: CRC mismatch (file corrupt): %08x != %08x", sum, want)
+	}
+	if n, _ := r.Read(tail[:1]); n > 0 {
+		return Meta{}, nil, fmt.Errorf("checkpoint: trailing data after CRC")
 	}
 	return meta, params, nil
 }
 
-// Save writes the checkpoint to path atomically (temp file + rename).
+// Save writes the checkpoint to path atomically (temp file + fsync +
+// rename), so a crash at any point leaves either the previous file or the
+// complete new one — never a renamed-but-empty checkpoint.
 func Save(path string, meta Meta, params []float64) error {
+	return save(path, meta, params, nil)
+}
+
+// save is Save with an optional writer wrapper — the fault-injection hook
+// that lets the torn-write tests tear the temp-file stream mid-write.
+func save(path string, meta Meta, params []float64, wrap func(io.Writer) io.Writer) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := Write(f, meta, params); err != nil {
+	var w io.Writer = f
+	if wrap != nil {
+		w = wrap(f)
+	}
+	if err := Write(w, meta, params); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	// Durability order: flush file data to stable storage BEFORE the rename
+	// publishes the name, so a machine crash cannot expose a renamed file
+	// with unwritten contents.
+	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -122,7 +191,22 @@ func Save(path string, meta Meta, params []float64) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// syncDir best-effort fsyncs the directory so the rename itself is durable.
+// Errors are ignored: not every filesystem supports directory fsync, and the
+// file-data sync above already covers the dangerous failure mode.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }
 
 // Load reads the checkpoint at path.

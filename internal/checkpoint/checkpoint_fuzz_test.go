@@ -43,6 +43,28 @@ func FuzzReadCheckpoint(f *testing.F) {
 	bomb = binary.LittleEndian.AppendUint32(bomb, 0xFFFFFFFF)
 	bomb = append(bomb, 0, 0, 0, 0)
 	f.Add(bomb)
+	// A mid-run checkpoint with the full resume-state meta (RNG stream,
+	// shard count, tuner ladder positions, budget).
+	midrun := func() []byte {
+		params := []float64{0.5, -0.5, 1, 2}
+		var buf bytes.Buffer
+		m := Meta{Arch: "fuzz-arch", Dim: 4, Algo: "LSH", Updates: 321,
+			Seed: 9, RNGState: 0xABCD, Shards: 4, Tp: 2, SPos: 2, TpPos: 1,
+			AutoTune: true, MaxUpdates: 1000}
+		if err := Write(&buf, m, params); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	f.Add(midrun)
+	f.Add(midrun[:len(midrun)-6]) // truncated mid-parameters
+	f.Add(append(append([]byte(nil), midrun...), 0)) // trailing byte
+	// Dimension bomb: honest dlen, hostile meta.Dim with no params behind it.
+	dimBomb := []byte(`{"arch":"x","dim":67108864}`)
+	db := append([]byte(nil), good[:8]...)
+	db = binary.LittleEndian.AppendUint32(db, uint32(len(dimBomb)))
+	db = append(db, dimBomb...)
+	f.Add(db)
 
 	f.Fuzz(func(t *testing.T, in []byte) {
 		meta, params, err := Read(bytes.NewReader(in))

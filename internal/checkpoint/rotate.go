@@ -1,0 +1,116 @@
+// Mid-run checkpoint rotation: the trainer saves on cadence to numbered
+// files beside a base path and resume picks the newest one that still
+// validates, so a crash during a save (torn write) or silent corruption of
+// the latest file costs one cadence interval, never the run.
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Rotator writes a bounded series of rotated checkpoints `Path.NNNNNN`
+// (monotonically increasing sequence numbers), pruning the oldest beyond
+// Keep. It is single-writer by design — the training monitor owns it.
+type Rotator struct {
+	Path string
+	Keep int // rotated files retained; <= 0 means DefaultKeep
+	// WrapWriter, when set, wraps each save's temp-file writer — the
+	// fault-injection hook for torn-write testing. It is consulted per save,
+	// so a test can tear exactly one write.
+	WrapWriter func(io.Writer) io.Writer
+
+	seq    int
+	inited bool
+}
+
+// DefaultKeep is how many rotated checkpoints a Rotator retains when
+// Keep is unset.
+const DefaultKeep = 3
+
+// Save writes the next rotated checkpoint and prunes old ones, returning the
+// file written. A failed save removes its temp file and leaves every
+// previously rotated checkpoint untouched.
+func (r *Rotator) Save(meta Meta, params []float64) (string, error) {
+	if !r.inited {
+		// Continue the sequence past any files already on disk (a resumed
+		// run rotates into the same directory it resumed from).
+		if cs := Candidates(r.Path); len(cs) > 0 {
+			r.seq = cs[0].Seq + 1
+		}
+		r.inited = true
+	}
+	file := fmt.Sprintf("%s.%06d", r.Path, r.seq)
+	if err := save(file, meta, params, r.WrapWriter); err != nil {
+		return "", err
+	}
+	r.seq++
+	r.prune()
+	return file, nil
+}
+
+func (r *Rotator) keep() int {
+	if r.Keep <= 0 {
+		return DefaultKeep
+	}
+	return r.Keep
+}
+
+func (r *Rotator) prune() {
+	cs := Candidates(r.Path)
+	for _, c := range cs[min(r.keep(), len(cs)):] {
+		os.Remove(c.File)
+	}
+}
+
+// Candidate is one rotated checkpoint file.
+type Candidate struct {
+	File string
+	Seq  int
+}
+
+// Candidates lists the rotated checkpoints for a base path, newest (highest
+// sequence) first. Files whose suffix is not a sequence number — including
+// the bare base path and leftover .tmp files — are ignored.
+func Candidates(path string) []Candidate {
+	matches, _ := filepath.Glob(path + ".*")
+	var out []Candidate
+	for _, m := range matches {
+		suffix := strings.TrimPrefix(m, path+".")
+		seq, err := strconv.Atoi(suffix)
+		if err != nil || seq < 0 || strings.ContainsAny(suffix, "+-") {
+			continue
+		}
+		out = append(out, Candidate{File: m, Seq: seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq > out[j].Seq })
+	return out
+}
+
+// LoadNewest loads the newest valid rotated checkpoint for a base path,
+// falling back past files that fail validation (torn by a crash mid-save,
+// corrupted on disk). If no rotated file validates it tries the bare base
+// path itself (a final-model checkpoint). Returns the file that was loaded.
+func LoadNewest(path string) (Meta, []float64, string, error) {
+	var firstErr error
+	for _, c := range Candidates(path) {
+		meta, params, err := Load(c.File)
+		if err == nil {
+			return meta, params, c.File, nil
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", c.File, err)
+		}
+	}
+	if meta, params, err := Load(path); err == nil {
+		return meta, params, path, nil
+	} else if firstErr == nil {
+		firstErr = err
+	}
+	return Meta{}, nil, "", fmt.Errorf("checkpoint: no valid checkpoint for %s: %w", path, firstErr)
+}

@@ -1,0 +1,267 @@
+// Package faultinject is the deterministic fault-injection layer behind the
+// chaos harness: a seeded injector threaded through the training worker loop,
+// the LAU-SPC publish path, the mid-run checkpoint writer and the serve
+// dispatcher. Faults are decided by a counter-indexed hash of the injector
+// seed, so a given (seed, rules) pair fires the same faults at the same site
+// events on every run — chaos tests are replayable and CI-stable.
+//
+// The disabled case is a nil *Injector: every instrumentation site guards
+// with a single pointer check (`if inj != nil`), so fault injection adds no
+// work and no branches beyond that check to the hot paths when off.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Site identifies one instrumented point in the pipeline. Each site keeps its
+// own event counter, so rules at different sites fire independently and
+// deterministically regardless of scheduling.
+type Site uint8
+
+const (
+	// WorkerIter fires once per worker-loop iteration, between minibatch
+	// sampling and the gradient compute — the point where a panic exercises
+	// every piece of iteration-scoped state (leases, epoch read-locks,
+	// reservations) the recovery path must release.
+	WorkerIter Site = iota
+	// Publish fires once per LAU-SPC chain-publish attempt; a Fail here is
+	// indistinguishable from a lost CAS, driving publish-failure bursts.
+	Publish
+	// CheckpointWrite fires once per mid-run checkpoint save; a Fail tears
+	// the write partway through the temp file.
+	CheckpointWrite
+	// ServeDispatch fires once per served batch in the serve dispatcher; a
+	// Stall models a slow model pass or a client that stopped reading.
+	ServeDispatch
+
+	numSites
+)
+
+func (s Site) String() string {
+	switch s {
+	case WorkerIter:
+		return "worker-iter"
+	case Publish:
+		return "publish"
+	case CheckpointWrite:
+		return "checkpoint-write"
+	case ServeDispatch:
+		return "serve-dispatch"
+	default:
+		return fmt.Sprintf("site(%d)", uint8(s))
+	}
+}
+
+// Kind is what happens when a rule fires.
+type Kind uint8
+
+const (
+	// KindNone is the zero Fault: nothing fires.
+	KindNone Kind = iota
+	// KindPanic makes the instrumented goroutine panic with a Panic value.
+	KindPanic
+	// KindStall sleeps the instrumented goroutine for the rule's Stall
+	// duration — a straggler worker or a slow serve client.
+	KindStall
+	// KindFail makes the instrumented operation report failure (a lost
+	// publish, a torn checkpoint write).
+	KindFail
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindPanic:
+		return "panic"
+	case KindStall:
+		return "stall"
+	case KindFail:
+		return "fail"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// defaultStall is used by Stall rules that leave Rule.Stall zero.
+const defaultStall = time.Millisecond
+
+// Rule arms one fault at one site.
+type Rule struct {
+	Site Site
+	Kind Kind
+	// Prob is the per-event fire probability in [0, 1]; 1 fires on every
+	// eligible event. The draw is a pure function of (injector seed, site,
+	// rule index, event number) — no shared RNG stream, no ordering races.
+	Prob float64
+	// After skips this many events at the site before the rule arms, so a
+	// fault can be positioned mid-run deterministically.
+	After int64
+	// Limit caps how many times the rule fires in total; 0 = unlimited.
+	Limit int64
+	// Stall is the sleep duration for KindStall rules (default 1ms).
+	Stall time.Duration
+}
+
+// Fault is one site decision. The zero value (KindNone) means no fault.
+type Fault struct {
+	Kind  Kind
+	Stall time.Duration
+	// N is the site event number the fault fired on — the replay coordinate.
+	N int64
+}
+
+// Panic is the value injected KindPanic faults throw, so recovery logs and
+// tests can tell an injected crash from a genuine bug.
+type Panic struct {
+	Site Site
+	N    int64
+}
+
+func (p Panic) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s event %d", p.Site, p.N)
+}
+
+type rule struct {
+	Rule
+	fired atomic.Int64
+}
+
+type siteState struct {
+	events atomic.Int64
+	rules  []*rule
+}
+
+// Injector decides faults for the four pipeline sites. Safe for concurrent
+// use by any number of goroutines; a nil *Injector is the disabled state and
+// must be checked by callers before Decide.
+type Injector struct {
+	seed  uint64
+	sites [numSites]siteState
+}
+
+// New builds a deterministic injector from a seed and a rule set. Rules at
+// the same site are tried in the order given; the first that fires wins the
+// event.
+func New(seed uint64, rules ...Rule) *Injector {
+	in := &Injector{seed: seed}
+	for _, r := range rules {
+		if r.Site >= numSites || r.Kind == KindNone {
+			continue
+		}
+		if r.Kind == KindStall && r.Stall <= 0 {
+			r.Stall = defaultStall
+		}
+		st := &in.sites[r.Site]
+		st.rules = append(st.rules, &rule{Rule: r})
+	}
+	return in
+}
+
+// Decide consumes one event at site and reports whether a fault fires on it.
+func (in *Injector) Decide(site Site) Fault {
+	st := &in.sites[site]
+	n := st.events.Add(1) - 1
+	for ri, r := range st.rules {
+		if n < r.After {
+			continue
+		}
+		if r.Prob < 1 && hash01(in.seed, site, ri, n) >= r.Prob {
+			continue
+		}
+		if !r.claim() {
+			continue
+		}
+		return Fault{Kind: r.Kind, Stall: r.Stall, N: n}
+	}
+	return Fault{}
+}
+
+// claim atomically takes one firing slot, respecting Limit.
+func (r *rule) claim() bool {
+	if r.Limit <= 0 {
+		r.fired.Add(1)
+		return true
+	}
+	for {
+		f := r.fired.Load()
+		if f >= r.Limit {
+			return false
+		}
+		if r.fired.CompareAndSwap(f, f+1) {
+			return true
+		}
+	}
+}
+
+// Events reports how many events the site has consumed.
+func (in *Injector) Events(site Site) int64 {
+	if in == nil || site >= numSites {
+		return 0
+	}
+	return in.sites[site].events.Load()
+}
+
+// Fired reports how many faults have fired at the site across all its rules.
+func (in *Injector) Fired(site Site) int64 {
+	if in == nil || site >= numSites {
+		return 0
+	}
+	var total int64
+	for _, r := range in.sites[site].rules {
+		total += r.fired.Load()
+	}
+	return total
+}
+
+// hash01 maps (seed, site, rule, event) to a uniform draw in [0, 1) via a
+// splitmix64-style finalizer — stateless, so concurrent sites never contend.
+func hash01(seed uint64, site Site, ruleIdx int, n int64) float64 {
+	x := seed ^ uint64(site)*0x9E3779B97F4A7C15 ^ uint64(ruleIdx)*0xD1B54A32D192ED03 ^ uint64(n)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// ErrInjected is the error injected write failures return.
+var ErrInjected = errors.New("faultinject: injected write failure")
+
+// failWriter tears a write stream after n bytes — the torn/partial
+// checkpoint-write fault.
+type failWriter struct {
+	w    io.Writer
+	left int
+}
+
+// FailAfterWriter wraps w so that writes pass through until n total bytes,
+// then fail with ErrInjected — simulating a crash partway through a file
+// write. A short final write is delivered (torn), matching what a real
+// crash leaves behind.
+func FailAfterWriter(w io.Writer, n int) io.Writer {
+	return &failWriter{w: w, left: n}
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, ErrInjected
+	}
+	if len(p) <= f.left {
+		n, err := f.w.Write(p)
+		f.left -= n
+		return n, err
+	}
+	n, err := f.w.Write(p[:f.left])
+	f.left -= n
+	if err != nil {
+		return n, err
+	}
+	return n, ErrInjected
+}

@@ -1,0 +1,162 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The injector is a pure function of (seed, rules, event order): two
+// injectors with the same configuration decide the same faults at the same
+// event numbers.
+func TestDeterministicAcrossInstances(t *testing.T) {
+	mk := func() *Injector {
+		return New(42,
+			Rule{Site: WorkerIter, Kind: KindPanic, Prob: 0.1},
+			Rule{Site: Publish, Kind: KindFail, Prob: 0.35},
+		)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 2000; i++ {
+		fa, fb := a.Decide(WorkerIter), b.Decide(WorkerIter)
+		if fa != fb {
+			t.Fatalf("event %d: %+v vs %+v", i, fa, fb)
+		}
+		if fa, fb = a.Decide(Publish), b.Decide(Publish); fa != fb {
+			t.Fatalf("publish event %d: %+v vs %+v", i, fa, fb)
+		}
+	}
+	if a.Fired(WorkerIter) == 0 || a.Fired(Publish) == 0 {
+		t.Fatalf("rates 0.1/0.35 over 2000 events never fired: %d %d",
+			a.Fired(WorkerIter), a.Fired(Publish))
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	a := New(1, Rule{Site: Publish, Kind: KindFail, Prob: 0.5})
+	b := New(2, Rule{Site: Publish, Kind: KindFail, Prob: 0.5})
+	same := true
+	for i := 0; i < 256; i++ {
+		if a.Decide(Publish).Kind != b.Decide(Publish).Kind {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("256 decisions identical across different seeds")
+	}
+}
+
+func TestAfterAndLimit(t *testing.T) {
+	in := New(7, Rule{Site: WorkerIter, Kind: KindPanic, Prob: 1, After: 10, Limit: 3})
+	var fired []int64
+	for i := 0; i < 50; i++ {
+		if f := in.Decide(WorkerIter); f.Kind == KindPanic {
+			fired = append(fired, f.N)
+		}
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %d times, want 3", len(fired))
+	}
+	for k, n := range fired {
+		if n != int64(10+k) {
+			t.Fatalf("firing %d at event %d, want %d", k, n, 10+k)
+		}
+	}
+	if in.Events(WorkerIter) != 50 || in.Fired(WorkerIter) != 3 {
+		t.Fatalf("events=%d fired=%d", in.Events(WorkerIter), in.Fired(WorkerIter))
+	}
+}
+
+// Limit must hold under concurrent Decide calls — the claim CAS is the only
+// thing standing between N racing workers and over-firing.
+func TestLimitConcurrent(t *testing.T) {
+	in := New(3, Rule{Site: Publish, Kind: KindFail, Prob: 1, Limit: 5})
+	var wg sync.WaitGroup
+	var fired sync.Map
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if f := in.Decide(Publish); f.Kind == KindFail {
+					fired.Store(f.N, true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	n := 0
+	fired.Range(func(any, any) bool { n++; return true })
+	if n != 5 || in.Fired(Publish) != 5 {
+		t.Fatalf("fired %d (counter %d), want exactly 5", n, in.Fired(Publish))
+	}
+}
+
+func TestProbabilityRoughlyCalibrated(t *testing.T) {
+	in := New(99, Rule{Site: ServeDispatch, Kind: KindStall, Prob: 0.25, Stall: time.Microsecond})
+	const events = 20000
+	hits := 0
+	for i := 0; i < events; i++ {
+		if in.Decide(ServeDispatch).Kind == KindStall {
+			hits++
+		}
+	}
+	rate := float64(hits) / events
+	if rate < 0.22 || rate > 0.28 {
+		t.Fatalf("empirical rate %.3f for Prob 0.25", rate)
+	}
+}
+
+func TestNilAndZeroRuleSafety(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.Events(WorkerIter) != 0 || nilInj.Fired(WorkerIter) != 0 {
+		t.Fatal("nil injector accessors must be zero")
+	}
+	in := New(1) // no rules: every decision is KindNone
+	for i := 0; i < 10; i++ {
+		if f := in.Decide(CheckpointWrite); f.Kind != KindNone {
+			t.Fatalf("rule-free injector fired %+v", f)
+		}
+	}
+	// KindNone rules are dropped at construction.
+	in = New(1, Rule{Site: Publish, Kind: KindNone, Prob: 1})
+	if f := in.Decide(Publish); f.Kind != KindNone {
+		t.Fatalf("KindNone rule fired %+v", f)
+	}
+}
+
+func TestStallDefault(t *testing.T) {
+	in := New(5, Rule{Site: ServeDispatch, Kind: KindStall, Prob: 1})
+	if f := in.Decide(ServeDispatch); f.Stall != defaultStall {
+		t.Fatalf("default stall = %v", f.Stall)
+	}
+}
+
+func TestPanicValue(t *testing.T) {
+	p := Panic{Site: WorkerIter, N: 17}
+	got := p.String()
+	want := "faultinject: injected panic at worker-iter event 17"
+	if got != want {
+		t.Fatalf("Panic.String() = %q, want %q", got, want)
+	}
+}
+
+func TestFailAfterWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := FailAfterWriter(&buf, 10)
+	if n, err := w.Write([]byte("0123456")); n != 7 || err != nil {
+		t.Fatalf("first write n=%d err=%v", n, err)
+	}
+	// Crosses the tear point: delivers the short prefix, then fails.
+	if n, err := w.Write([]byte("789abcdef")); n != 3 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write n=%d err=%v", n, err)
+	}
+	if buf.String() != "0123456789" {
+		t.Fatalf("bytes through tear = %q", buf.String())
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-tear write n=%d err=%v", n, err)
+	}
+}

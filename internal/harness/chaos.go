@@ -1,0 +1,187 @@
+// Chaos harness: the fault-injection survival matrix. For each algorithm ×
+// injected fault rate it runs the training cell under deterministic worker
+// panics (plus publish-failure injection on the Leashed publish path) and
+// reports how the run degraded: faults recovered, workers respawned or
+// permanently lost, whether the update budget stayed exact, and the final
+// loss delta against the fault-free arm. A second mode kills each faulted
+// run mid-flight and resumes it from its newest checkpoint, so the
+// crash+resume path is exercised under the same fault pressure.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"leashedsgd/internal/checkpoint"
+	"leashedsgd/internal/faultinject"
+	"leashedsgd/internal/report"
+	"leashedsgd/internal/sgd"
+)
+
+// chaosAlgos is the survival-matrix algorithm axis: one representative per
+// publish protocol (lock, component-atomic, LAU-SPC, round barrier).
+func chaosAlgos() []AlgoSpec {
+	return []AlgoSpec{
+		{Name: "ASYNC", Algo: sgd.Async},
+		{Name: "HOG", Algo: sgd.Hogwild},
+		{Name: "LSH_psInf", Algo: sgd.Leashed, Persistence: sgd.PersistenceInf},
+		{Name: "SYNC", Algo: sgd.SyncLockstep},
+	}
+}
+
+// chaosInjector builds the deterministic fault mix for one arm: worker
+// panics at the given per-iteration rate, and publish-attempt failures at
+// the same rate (a no-op for algorithms without the LAU-SPC publish site).
+func chaosInjector(seed uint64, rate float64) *faultinject.Injector {
+	if rate <= 0 {
+		return nil
+	}
+	return faultinject.New(seed,
+		faultinject.Rule{Site: faultinject.WorkerIter, Kind: faultinject.KindPanic, Prob: rate},
+		faultinject.Rule{Site: faultinject.Publish, Kind: faultinject.KindFail, Prob: rate},
+	)
+}
+
+func chaosConfig(sc Scale, spec AlgoSpec, workers int, budget int64, rate float64, armSeed uint64) sgd.Config {
+	return sgd.Config{
+		Algo:          spec.Algo,
+		Workers:       workers,
+		Eta:           sc.Eta,
+		BatchSize:     sc.BatchSize,
+		Persistence:   spec.Persistence,
+		Shards:        spec.Shards,
+		Seed:          sc.Seed,
+		MaxUpdates:    budget,
+		MaxTime:       sc.MaxTime,
+		EvalEvery:     2 * time.Millisecond,
+		FaultInjector: chaosInjector(armSeed, rate),
+	}
+}
+
+// budgetLabel classifies a lineage's budget accounting for the table.
+func budgetLabel(applied, budget int64) string {
+	switch {
+	case applied == budget:
+		return "exact"
+	case applied < budget:
+		return fmt.Sprintf("short %d", budget-applied)
+	default:
+		return fmt.Sprintf("OVER +%d", applied-budget)
+	}
+}
+
+// ChaosSweep runs the survival matrix and returns the table. rates are the
+// injected per-iteration fault probabilities; a fault-free arm (rate 0) is
+// always run first per algorithm as the loss baseline. Modes: "run" trains
+// through the faults; "kill+resume" additionally kills the run after its
+// first checkpoint and resumes it from disk, still under injection.
+func ChaosSweep(sc Scale, workers int, rates []float64) *report.Table {
+	budget := sc.MaxUpdates
+	if budget <= 0 {
+		budget = 600
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Chaos sweep: survival under injected faults, m=%d budget=%d [%s]",
+			workers, budget, sc.Arch),
+		"algo", "rate", "mode", "faults", "respawn", "dead", "updates", "budget", "loss", "dLoss")
+
+	addRow := func(spec AlgoSpec, rate float64, mode string, res *sgd.Result, baseline float64) {
+		dead := 0
+		for _, f := range res.WorkerFaults {
+			if !f.Respawned {
+				dead++
+			}
+		}
+		applied := res.ResumedFrom + res.TotalUpdates
+		dLoss := "-"
+		if !math.IsNaN(baseline) {
+			dLoss = fmt.Sprintf("%+.4f", res.FinalLoss-baseline)
+		}
+		tbl.AddRow(spec.Name,
+			fmt.Sprintf("%.3f", rate),
+			mode,
+			fmt.Sprintf("%d", len(res.WorkerFaults)),
+			fmt.Sprintf("%d", res.WorkerRestarts),
+			fmt.Sprintf("%d", dead),
+			fmt.Sprintf("%d", applied),
+			budgetLabel(applied, budget),
+			fmt.Sprintf("%.4f", res.FinalLoss),
+			dLoss)
+	}
+
+	for _, spec := range chaosAlgos() {
+		baseline := math.NaN()
+		for ri, rate := range append([]float64{0}, rates...) {
+			armSeed := sc.Seed + uint64(ri)*7919
+			cfg := chaosConfig(sc, spec, workers, budget, rate, armSeed)
+			net, ds := sc.Arch.build(sc.Samples, sc.Seed)
+			res, err := sgd.Run(cfg, net, ds)
+			if err != nil {
+				panic(fmt.Sprintf("harness: chaos run failed: %v", err))
+			}
+			if rate == 0 {
+				baseline = res.FinalLoss
+			}
+			addRow(spec, rate, "run", res, baseline)
+			if rate == 0 {
+				continue
+			}
+			if res2, err := chaosKillResume(sc, cfg, budget); err != nil {
+				tbl.AddRow(spec.Name, fmt.Sprintf("%.3f", rate), "kill+resume",
+					"-", "-", "-", "-", "FAILED: "+err.Error(), "-", "-")
+			} else {
+				addRow(spec, rate, "kill+resume", res2, baseline)
+			}
+		}
+	}
+	return tbl
+}
+
+// chaosKillResume runs one faulted arm with mid-run checkpointing, kills it
+// at its first checkpoint, resumes from disk under the same injection, and
+// returns the resumed leg's Result (whose ResumedFrom + TotalUpdates is the
+// lineage total).
+func chaosKillResume(sc Scale, cfg sgd.Config, budget int64) (*sgd.Result, error) {
+	dir, err := os.MkdirTemp("", "leashed-chaos-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	cfg.Checkpoint = sgd.CheckpointConfig{
+		Every: time.Millisecond,
+		Path:  filepath.Join(dir, "ckpt"),
+	}
+	net, ds := sc.Arch.build(sc.Samples, sc.Seed)
+	r, err := sgd.Start(cfg, net, ds)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(sc.MaxTime)
+	for len(checkpoint.Candidates(cfg.Checkpoint.Path)) == 0 {
+		select {
+		case <-r.Done():
+			// Faulted to completion before a checkpoint landed: the whole
+			// budget is already applied, nothing to resume.
+			return r.Wait(), nil
+		default:
+		}
+		if time.Now().After(deadline) {
+			r.Stop()
+			return r.Wait(), nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	res1 := r.Wait()
+	if res1.TotalUpdates >= budget {
+		return res1, nil
+	}
+	r2, err := sgd.Resume(cfg, net, ds)
+	if err != nil {
+		return nil, err
+	}
+	return r2.Wait(), nil
+}

@@ -14,16 +14,27 @@ const maxBodyBytes = 1 << 20
 // Handler returns the server's HTTP surface:
 //
 //	POST /predict  {"x": [..input floats..]} → Prediction JSON
+//	               (429 when shedding, 504 when the queue deadline expired)
 //	GET  /stats    → Stats JSON
-//	GET  /healthz  → 200 "ok"
+//	GET  /healthz  → 200 Health JSON when healthy, 503 when degraded
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok"))
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Degraded {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(struct {
+		Status string `json:"status"`
+		Health
+	}{Status: map[bool]string{false: "ok", true: "degraded"}[h.Degraded], Health: h})
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -43,6 +54,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrClosed):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrDeadline):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
 		return
 	case err != nil:
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -71,5 +89,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"snapshot":              st.Snapshot,
 		"max_staleness_updates": st.MaxStalenessUpdates,
 		"max_staleness_ms":      float64(st.MaxStalenessAge) / float64(time.Millisecond),
+
+		"shed":    st.Shed,
+		"expired": st.Expired,
 	})
 }

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"leashedsgd/internal/faultinject"
+)
+
+func jsonBody(t *testing.T, x []float64) io.Reader {
+	t.Helper()
+	raw, err := json.Marshal(map[string]any{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(raw)
+}
+
+// slowServer builds a server whose dispatcher stalls per batch via the
+// injector — a deterministic slow parameter source — with a tiny queue, so
+// overload is reachable with a handful of clients.
+func slowServer(t testing.TB, cfg Config, stall time.Duration) (*Server, func([]float64) (Prediction, error), []float64) {
+	t.Helper()
+	net, src := staticFixture(t)
+	cfg.FaultInjector = faultinject.New(17, faultinject.Rule{
+		Site: faultinject.ServeDispatch, Kind: faultinject.KindStall,
+		Prob: 1, Stall: stall,
+	})
+	s, err := New(net, src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	x := make([]float64, net.InDim())
+	for i := range x {
+		x[i] = float64(i) / 16
+	}
+	return s, s.Predict, x
+}
+
+// TestShedOnFullQueue saturates a 1-slot queue behind a stalled dispatcher:
+// overflow Predicts must fail fast with ErrOverloaded (never block), the
+// sheds must be counted, and the served requests still answer correctly.
+func TestShedOnFullQueue(t *testing.T) {
+	s, predict, x := slowServer(t, Config{MaxBatch: 1, MaxDelay: -1, Queue: 1}, 20*time.Millisecond)
+
+	const clients = 16
+	var shed, served atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := predict(x)
+			switch {
+			case err == nil:
+				served.Add(1)
+			case errors.Is(err, ErrOverloaded):
+				shed.Add(1)
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if shed.Load() == 0 {
+		t.Fatal("no request shed despite a 1-slot queue behind a 20ms-stalled dispatcher")
+	}
+	if served.Load() == 0 {
+		t.Fatal("every request shed — the dispatcher served nothing")
+	}
+	st := s.Stats()
+	if st.Shed != shed.Load() {
+		t.Fatalf("Stats.Shed = %d, clients saw %d", st.Shed, shed.Load())
+	}
+	if st.Requests != served.Load() {
+		t.Fatalf("Stats.Requests = %d, want only the %d served (shed excluded)", st.Requests, served.Load())
+	}
+}
+
+// TestDeadlineExpiresQueuedRequests runs a stalled dispatcher with a
+// deadline shorter than the stall: requests that sat in queue past their
+// budget are answered ErrDeadline without a forward pass.
+func TestDeadlineExpiresQueuedRequests(t *testing.T) {
+	s, predict, x := slowServer(t, Config{
+		MaxBatch: 1, MaxDelay: -1, Queue: 8, Deadline: 5 * time.Millisecond,
+	}, 20*time.Millisecond)
+
+	var expired, served atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := predict(x)
+			switch {
+			case err == nil:
+				served.Add(1)
+			case errors.Is(err, ErrDeadline):
+				expired.Add(1)
+			case errors.Is(err, ErrOverloaded):
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if expired.Load() == 0 {
+		t.Fatal("no request expired despite a 5ms deadline behind 20ms batch stalls")
+	}
+	if st := s.Stats(); st.Expired != expired.Load() {
+		t.Fatalf("Stats.Expired = %d, clients saw %d", st.Expired, expired.Load())
+	}
+}
+
+// TestHealthzDegradedFlip drives the server into shedding, sees /healthz
+// report degraded (503), lets the pressure clear, and sees it flip back to
+// ok (200) — the drain-and-recover contract a load balancer relies on.
+func TestHealthzDegradedFlip(t *testing.T) {
+	s, predict, x := slowServer(t, Config{MaxBatch: 1, MaxDelay: -1, Queue: 1}, 10*time.Millisecond)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy /healthz = %d, want 200", resp.StatusCode)
+	}
+
+	// Saturate until at least one shed is observed.
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); predict(x) }()
+	}
+	wg.Wait()
+	if s.Stats().Shed == 0 {
+		t.Fatal("overload burst shed nothing; cannot test the degraded flip")
+	}
+	h := s.Health()
+	if !h.Degraded {
+		t.Fatalf("Health after shedding = %+v, want degraded", h)
+	}
+	resp2, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz = %d, want 503", resp2.StatusCode)
+	}
+
+	// Pressure gone: after the degrade window the signal must clear.
+	deadline := time.Now().Add(3 * degradeWindow)
+	for s.Health().Degraded {
+		if time.Now().After(deadline) {
+			t.Fatalf("Health still degraded %v after the burst: %+v", 3*degradeWindow, s.Health())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	resp3, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("recovered /healthz = %d, want 200", resp3.StatusCode)
+	}
+}
+
+// TestOverloadedHTTPStatus maps ErrOverloaded through the HTTP handler: a
+// full queue answers 429 with a Retry-After hint.
+func TestOverloadedHTTPStatus(t *testing.T) {
+	s, predict, x := slowServer(t, Config{MaxBatch: 1, MaxDelay: -1, Queue: 1}, 50*time.Millisecond)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Fill the dispatcher (one in flight) and the queue (one waiting).
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); predict(x) }()
+	}
+	// Now a direct HTTP predict must shed. Retry a few times to dodge the
+	// startup race where neither slot is occupied yet.
+	got429 := false
+	for try := 0; try < 20 && !got429; try++ {
+		resp, err := http.Post(srv.URL+"/predict", "application/json",
+			jsonBody(t, x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got429 = resp.StatusCode == http.StatusTooManyRequests
+		if got429 && resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+		resp.Body.Close()
+	}
+	wg.Wait()
+	if !got429 {
+		t.Fatal("never observed a 429 from a saturated server")
+	}
+}
+
+// BenchmarkServeOverload is the acceptance bench: 16 closed-loop clients
+// against a queue of 8 with injected 500µs batch stalls — roughly 2× what
+// the dispatcher can carry. The server must shed (reported as shed/op) while
+// the p99 latency of ACCEPTED requests stays bounded by the queue depth, not
+// the offered load.
+func BenchmarkServeOverload(b *testing.B) {
+	s, predict, x := slowServer(b, Config{MaxBatch: 4, MaxDelay: -1, Queue: 8}, 500*time.Microsecond)
+
+	const clients = 16
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	b.ResetTimer()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= int64(b.N) {
+				predict(x)
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	st := s.Stats()
+	if st.Shed == 0 && b.N > 256 {
+		b.Fatalf("no shedding at 2x saturation (N=%d): overload never engaged", b.N)
+	}
+	// Accepted-request p99 must be bounded by queue depth x service time
+	// (8/4 batches x ~stall+GEMM), far below the unbounded-queue regime.
+	const p99Bound = 100 * time.Millisecond
+	if st.Requests > 256 && st.P99 > p99Bound {
+		b.Fatalf("p99 of accepted requests = %v, want < %v", st.P99, p99Bound)
+	}
+	b.ReportMetric(float64(st.Shed)/float64(b.N), "shed/op")
+	b.ReportMetric(float64(st.P99)/1e6, "p99-ms")
+	b.ReportMetric(st.MeanBatch, "batch")
+}

@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"leashedsgd/internal/faultinject"
 	"leashedsgd/internal/metrics"
 	"leashedsgd/internal/nn"
 	"leashedsgd/internal/paramvec"
@@ -116,6 +117,15 @@ type Config struct {
 	// the paramvec.ReadLeash defaults (MaxAge 2ms). Ignored for
 	// StoreLeased.
 	Leash paramvec.ReadLeash
+	// Deadline is the per-request time budget from enqueue to dispatch: a
+	// request still queued past it is answered ErrDeadline instead of
+	// being served a prediction its client already gave up on. 0 disables.
+	Deadline time.Duration
+	// FaultInjector, when non-nil, injects deterministic faults into the
+	// dispatcher (faultinject.ServeDispatch: per-batch stalls modeling a
+	// slow parameter source or GEMM). Nil in production — the disabled
+	// path is one pointer check per batch.
+	FaultInjector *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -198,7 +208,8 @@ type Server struct {
 	quit   chan struct{}
 	wg     sync.WaitGroup
 
-	stats serverStats
+	stats   serverStats
+	degrade degradeState
 }
 
 // New starts a server answering predictions for net with parameters from
@@ -270,8 +281,17 @@ func (s *Server) Predict(x []float64) (Prediction, error) {
 	}
 	// Enqueue under the read lock: Close flips closed before closing
 	// quit, so the dispatcher is still draining while any send is in
-	// flight.
-	s.reqs <- r
+	// flight. The send never blocks — a full queue sheds the request
+	// (fail fast beats queueing without bound: the client gets an
+	// immediate retry signal and the queued requests keep bounded
+	// latency).
+	select {
+	case s.reqs <- r:
+	default:
+		s.mu.RUnlock()
+		s.degrade.noteShed()
+		return Prediction{}, ErrOverloaded
+	}
 	s.mu.RUnlock()
 	out := <-r.resp
 	return out.pred, out.err
@@ -333,6 +353,15 @@ func (s *Server) dispatch() {
 			}
 		}
 	serve:
+		if inj := s.cfg.FaultInjector; inj != nil {
+			if f := inj.Decide(faultinject.ServeDispatch); f.Kind == faultinject.KindStall {
+				time.Sleep(f.Stall)
+			}
+		}
+		pend = s.expireStale(pend, time.Now())
+		if len(pend) == 0 {
+			continue
+		}
 		xs = xs[:0]
 		for _, r := range pend {
 			xs = append(xs, r.x)
@@ -464,6 +493,12 @@ type Stats struct {
 	Snapshot            int64
 	MaxStalenessUpdates int64
 	MaxStalenessAge     time.Duration
+	// Shed counts requests rejected at enqueue with ErrOverloaded (queue
+	// full); Expired counts requests dropped in queue past
+	// Config.Deadline. Neither appears in Requests — only served requests
+	// do.
+	Shed    int64
+	Expired int64
 }
 
 // Stats returns a snapshot of the counters since the server started.
@@ -486,6 +521,9 @@ func (s *Server) Stats() Stats {
 		Snapshot:            st.snapshot,
 		MaxStalenessUpdates: st.maxStaleUpd,
 		MaxStalenessAge:     st.maxStaleAge,
+
+		Shed:    s.degrade.shed.Load(),
+		Expired: s.degrade.expired.Load(),
 	}
 	if st.batches > 0 {
 		out.MeanBatch = float64(st.batchSum) / float64(st.batches)

@@ -14,7 +14,7 @@ import (
 	"leashedsgd/internal/rng"
 )
 
-func staticFixture(t *testing.T) (*nn.Network, StaticSource) {
+func staticFixture(t testing.TB) (*nn.Network, StaticSource) {
 	t.Helper()
 	net := nn.NewMLP(16, []int{12}, 4)
 	params := make([]float64, net.ParamCount())

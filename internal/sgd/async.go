@@ -39,8 +39,10 @@ func (st *asyncStrategy) begin(w *loopWorker) bool { return st.rt.defaultBegin()
 
 func (st *asyncStrategy) read(w *loopWorker) paramvec.View {
 	st.mtx.Lock()
+	w.lockHeld = true
 	w.param.CopyFrom(st.shared)
 	w.readSeq = st.rt.updates.Load()
+	w.lockHeld = false
 	st.mtx.Unlock()
 	return paramvec.FlatView(w.param.Theta)
 }
@@ -48,17 +50,37 @@ func (st *asyncStrategy) read(w *loopWorker) paramvec.View {
 func (st *asyncStrategy) commit(w *loopWorker, s step) bool {
 	rt := st.rt
 	st.mtx.Lock()
+	w.lockHeld = true
 	if !rt.reserveUpdate() {
+		w.lockHeld = false
 		st.mtx.Unlock()
 		return false
 	}
+	w.reserved = true
 	s.applyVector(st.shared, rt.adaptedEta(rt.updates.Load()-w.readSeq))
 	applied := rt.applyUpdate()
+	w.reserved = false
+	w.lockHeld = false
 	st.mtx.Unlock()
 	// Staleness: updates applied between our read and ours (our own
 	// update excluded).
 	w.hist.Observe(applied - 1 - w.readSeq)
 	return true
+}
+
+// recoverIter releases whatever a panicked iteration left behind: an
+// unapplied budget reservation is refunded and, if the crash hit inside a
+// critical section, the shared-parameter mutex is unlocked so the run (and
+// the monitor's snapshot) keeps making progress.
+func (st *asyncStrategy) recoverIter(w *loopWorker) {
+	if w.reserved {
+		w.reserved = false
+		st.rt.refundUpdate()
+	}
+	if w.lockHeld {
+		w.lockHeld = false
+		st.mtx.Unlock()
+	}
 }
 
 func (st *asyncStrategy) snapshot(dst []float64) {

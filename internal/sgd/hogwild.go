@@ -89,6 +89,7 @@ func (st *hogwildStrategy) commit(w *loopWorker, s step) bool {
 	if !rt.reserveUpdate() {
 		return false
 	}
+	w.reserved = true
 	eta := rt.adaptedEta(rt.updates.Load() - w.readSeq)
 	if S := len(st.bounds); S == 1 {
 		s.atomicApply(st.shared, 0, rt.d, eta)
@@ -107,8 +108,20 @@ func (st *hogwildStrategy) commit(w *loopWorker, s step) bool {
 		}
 	}
 	applied := rt.applyUpdate()
+	w.reserved = false
 	w.hist.Observe(applied - 1 - w.readSeq)
 	return true
+}
+
+// recoverIter refunds a reserved-but-unapplied budget unit. A panic mid-sweep
+// may leave some component-atomic adds applied and others not — a lost
+// partial update, which HOGWILD's no-consistency contract already admits —
+// but the update is not counted, so the budget stays exact.
+func (st *hogwildStrategy) recoverIter(w *loopWorker) {
+	if w.reserved {
+		w.reserved = false
+		st.rt.refundUpdate()
+	}
 }
 
 func (st *hogwildStrategy) snapshot(dst []float64) {

@@ -3,6 +3,7 @@ package sgd
 import (
 	"sync"
 
+	"leashedsgd/internal/faultinject"
 	"leashedsgd/internal/paramvec"
 )
 
@@ -108,6 +109,7 @@ func (st *leashedStrategy) begin(w *loopWorker) bool {
 			w.bound = int(st.auto.bound.Load())
 		}
 		st.auto.mu.RLock()
+		w.epochLock = true
 		w.epoch = st.auto.epoch
 	} else {
 		w.epoch = st.epoch
@@ -117,19 +119,23 @@ func (st *leashedStrategy) begin(w *loopWorker) bool {
 
 func (st *leashedStrategy) end(w *loopWorker) {
 	if st.auto != nil {
+		w.epochLock = false
 		st.auto.mu.RUnlock()
 	}
 }
 
 // read leases the chains' latest vectors — the zero-copy gradient view.
 func (st *leashedStrategy) read(w *loopWorker) paramvec.View {
-	return w.lease.Acquire(w.epoch.store)
+	pv := w.lease.Acquire(w.epoch.store)
+	w.leaseHeld = true
+	return pv
 }
 
 // endRead releases the lease and tallies the consistency classification —
 // live per-worker counts (the Tp axis's windowed signal) plus the per-chain
 // stale-read breakdown for mixed reads.
 func (st *leashedStrategy) endRead(w *loopWorker) {
+	w.leaseHeld = false
 	if w.lease.Release() {
 		w.tally.consistent.Add(1)
 		return
@@ -159,6 +165,7 @@ func (st *leashedStrategy) commit(w *loopWorker, s step) bool {
 	if !rt.reserveUpdate() {
 		return false
 	}
+	w.reserved = true
 
 	publishedAny := false
 	cleanIter := true // every chain published without a retry
@@ -173,6 +180,22 @@ func (st *leashedStrategy) commit(w *loopWorker, s step) bool {
 		newSeg := store.NewChainVec(c)
 		tries := 0
 		for {
+			if inj := rt.inj; inj != nil {
+				// Injected publish failure: burns a persistence-bound try
+				// exactly like a lost CAS, so bursts drive the drop/recycle
+				// path without touching the store.
+				if f := inj.Decide(faultinject.Publish); f.Kind == faultinject.KindFail {
+					e.failed[c].n.Add(1)
+					tries++
+					if w.bound >= 0 && tries > w.bound {
+						newSeg.Release()
+						e.dropped[c].n.Add(1)
+						droppedAny = true
+						break
+					}
+					continue
+				}
+			}
 			cur := store.ChainLatest(c)
 			// Staleness estimate at apply time: publishes between the
 			// gradient's source vector and the head we fold onto, in this
@@ -211,6 +234,7 @@ func (st *leashedStrategy) commit(w *loopWorker, s step) bool {
 	} else {
 		rt.refundUpdate()
 	}
+	w.reserved = false
 	// Adaptive persistence: grow only after a fully uncontended iteration,
 	// halve only after a dropped gradient segment (a retried-but-successful
 	// publish is neither).
@@ -273,6 +297,50 @@ func (st *leashedStrategy) snapshot(dst []float64) {
 		return
 	}
 	st.seqs = st.epoch.store.Snapshot(dst, st.seqs)
+}
+
+// snapshotConsistent retries the store snapshot under seqlock validation so a
+// checkpoint captures a true cross-chain global state, not a skewed mix. On
+// attempt exhaustion under heavy publish pressure the last (per-chain untorn)
+// copy stands — same guarantee as snapshot.
+func (st *leashedStrategy) snapshotConsistent(dst []float64) {
+	if st.auto != nil {
+		st.auto.mu.RLock()
+		st.auto.epoch.store.SnapshotConsistent(dst, 8)
+		st.auto.mu.RUnlock()
+		return
+	}
+	st.epoch.store.SnapshotConsistent(dst, 8)
+}
+
+// recoverIter rolls back a panicked iteration: the lease is released first
+// (its chains belong to the epoch the read lock pins), then the budget
+// reservation is refunded, then the epoch pin itself is dropped — so the
+// autotuner's quiesce can never observe a dangling lease from a crashed
+// worker.
+func (st *leashedStrategy) recoverIter(w *loopWorker) {
+	if w.leaseHeld {
+		w.leaseHeld = false
+		w.lease.Release()
+	}
+	if w.reserved {
+		w.reserved = false
+		st.rt.refundUpdate()
+	}
+	if w.epochLock {
+		w.epochLock = false
+		st.auto.mu.RUnlock()
+	}
+}
+
+// respawnBarrier orders a respawned worker against the autotune controller:
+// taking and releasing the epoch write lock waits out any re-shard the crash
+// raced with, so the fresh worker's first begin pins a settled epoch.
+func (st *leashedStrategy) respawnBarrier() {
+	if st.auto != nil {
+		st.auto.mu.Lock()
+		st.auto.mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	}
 }
 
 func (st *leashedStrategy) cleanup() {

@@ -11,10 +11,12 @@
 package sgd
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"leashedsgd/internal/faultinject"
 	"leashedsgd/internal/metrics"
 	"leashedsgd/internal/paramvec"
 )
@@ -57,6 +59,17 @@ type strategy interface {
 	snapshot(dst []float64)
 	// cleanup releases the shared parameter state after the run.
 	cleanup()
+	// recoverIter rolls back a panicked iteration: release whatever
+	// iteration-scoped state the worker still holds (lease, epoch read
+	// lock, strategy mutex, budget reservation) so the crash is isolated —
+	// the rest of the run keeps publishing and the supervisor can respawn
+	// the slot. Called from the recovery defer with the panicked worker's
+	// state; the loopWorker's hold flags record exactly what to release.
+	recoverIter(w *loopWorker)
+	// respawnBarrier orders a worker respawn against the strategy's epoch
+	// machinery (autotuned runs wait out an in-flight re-shard quiesce);
+	// no-op for strategies without one.
+	respawnBarrier()
 }
 
 // nopHooks provides the no-op defaults strategies embed.
@@ -67,6 +80,8 @@ func (nopHooks) endRead(*loopWorker)       {}
 func (nopHooks) end(*loopWorker)           {}
 func (nopHooks) loopTimesCommit() bool     { return true }
 func (nopHooks) launchAux(*sync.WaitGroup) {}
+func (nopHooks) recoverIter(*loopWorker)   {}
+func (nopHooks) respawnBarrier()           {}
 
 // loopWorker is one worker's state in the unified loop: the pieces every
 // algorithm needs (the problem's gradient computer, metrics, optional
@@ -90,6 +105,17 @@ type loopWorker struct {
 	bound    int         // local persistence bound (adapts under LeashedAdaptive)
 	adaptive bool
 	tally    *readTally // this worker's live consistency tally slot
+
+	// Crash-isolation bookkeeping: which iteration-scoped resources the
+	// worker currently holds. Maintained by the strategy hooks on the
+	// worker's own goroutine (plain fields, no atomics needed) so
+	// recoverIter can release exactly what a panic left behind without
+	// deadlocking the run.
+	leaseHeld bool // leashed: chain lease between read and endRead
+	epochLock bool // leashed autotuned: epoch RLock between begin and end
+	lockHeld  bool // async: strategy mutex inside read/commit critical sections
+	reserved  bool // a budget reservation not yet applied or refunded
+	midRound  bool // sync: round token consumed, contribution not yet delivered
 }
 
 func (rt *runCtx) newLoopWorker(id int) *loopWorker {
@@ -138,14 +164,70 @@ func (rt *runCtx) defaultBegin() bool {
 	}
 }
 
-// runWorkers starts cfg.Workers goroutines running the unified loop.
+// WorkerFault records one recovered worker panic (Result.WorkerFaults).
+type WorkerFault struct {
+	Worker  int    // worker slot id
+	Restart int    // prior respawns of this slot when the fault hit
+	Err     string // the recovered panic value
+	// Respawned reports whether the supervisor restarted the slot after
+	// this fault — false once the restart cap is exhausted or the run was
+	// already ending.
+	Respawned bool
+}
+
+// workerRetirer is implemented by strategies that must keep a permanently
+// dead worker slot protocol-alive (SYNC: the coordinator counts on m
+// contributions per round, so a retired slot answers every round signal with
+// a zero contribution instead of deadlocking the barrier).
+type workerRetirer interface {
+	retireWorker(id int)
+}
+
+// runWorkers starts cfg.Workers supervised goroutines running the unified
+// loop.
 func (rt *runCtx) runWorkers(wg *sync.WaitGroup, st strategy) {
 	for i := 0; i < rt.cfg.Workers; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			rt.workerLoop(id, st)
+			rt.superviseWorker(id, st)
 		}(i)
+	}
+}
+
+// superviseWorker runs one worker slot: the unified loop under panic
+// recovery, respawned with fresh per-worker state after a recovered crash —
+// at the strategy's respawn barrier, up to the configured restart cap. A
+// crash therefore costs the in-flight iteration (rolled back by
+// recoverIter) and a respawn, never the process or the budget invariant.
+func (rt *runCtx) superviseWorker(id int, st strategy) {
+	for restart := 0; ; restart++ {
+		fault := rt.workerLoop(id, st)
+		if fault == nil {
+			return // clean exit: stop condition or budget drained
+		}
+		fault.Restart = restart
+		fault.Respawned = restart < rt.cfg.WorkerRestarts &&
+			!rt.stop.Load() && !rt.budgetExhausted()
+		rt.recordFault(*fault)
+		if !fault.Respawned {
+			// A run whose every slot is out of restarts can make no more
+			// progress: stop it instead of idling out the time limit (or,
+			// for SYNC, stepping zero-gradient rounds against the budget).
+			rt.faultMu.Lock()
+			rt.dead++
+			allDead := rt.dead == rt.cfg.Workers
+			rt.faultMu.Unlock()
+			if allDead {
+				rt.stop.Store(true)
+				rt.stopOnce.Do(func() { close(rt.stopped) })
+			}
+			if ret, ok := st.(workerRetirer); ok {
+				ret.retireWorker(id)
+			}
+			return
+		}
+		st.respawnBarrier()
 	}
 }
 
@@ -154,9 +236,21 @@ func (rt *runCtx) runWorkers(wg *sync.WaitGroup, st strategy) {
 // the minibatch untimed, compute produces the representation-generic step
 // and is what the Tc sampler measures — so one loop body serves dense
 // backprop and sparse logistic regression alike.
-func (rt *runCtx) workerLoop(id int, st strategy) {
+//
+// A panic anywhere in the loop is caught here and reported to the
+// supervisor; the recovery defer is registered FIRST so during the unwind it
+// runs LAST, after the buffer-release defer below has already returned the
+// worker's private buffers, and rolls back the iteration through
+// strategy.recoverIter.
+func (rt *runCtx) workerLoop(id int, st strategy) (fault *WorkerFault) {
 	cfg := rt.cfg
 	w := rt.newLoopWorker(id)
+	defer func() {
+		if r := recover(); r != nil {
+			st.recoverIter(w)
+			fault = &WorkerFault{Worker: id, Err: fmt.Sprint(r)}
+		}
+	}()
 	st.setup(w)
 	defer func() {
 		if w.param != nil {
@@ -169,6 +263,17 @@ func (rt *runCtx) workerLoop(id int, st strategy) {
 		w.iter++
 		pv := st.read(w)
 		w.gw.sample()
+		if inj := rt.inj; inj != nil {
+			// Mid-iteration fault point: every iteration-scoped resource
+			// (lease, epoch pin, round token) is held here, so an injected
+			// panic exercises the full recovery path.
+			switch f := inj.Decide(faultinject.WorkerIter); f.Kind {
+			case faultinject.KindPanic:
+				panic(faultinject.Panic{Site: faultinject.WorkerIter, N: f.N})
+			case faultinject.KindStall:
+				time.Sleep(f.Stall)
+			}
+		}
 		var t0 time.Time
 		if cfg.SampleTiming {
 			t0 = time.Now()
@@ -187,6 +292,7 @@ func (rt *runCtx) workerLoop(id int, st strategy) {
 		}
 		st.end(w)
 	}
+	return nil
 }
 
 // adaptedEta returns the step size for an update whose staleness estimate at

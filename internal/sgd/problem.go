@@ -15,6 +15,7 @@
 package sgd
 
 import (
+	"fmt"
 	"math"
 	"slices"
 	"sort"
@@ -158,6 +159,8 @@ type gradWorker interface {
 type problem interface {
 	dim() int
 	dataLen() int
+	// describe names the trained model class for checkpoint metadata.
+	describe() string
 	// initParams fills the θ0 vector (the problem's conventional
 	// initialization: rand_init for the dense nets, zero for sparse
 	// logistic regression).
@@ -177,6 +180,10 @@ type denseProblem struct {
 
 func (p *denseProblem) dim() int     { return p.net.ParamCount() }
 func (p *denseProblem) dataLen() int { return p.ds.Len() }
+
+func (p *denseProblem) describe() string {
+	return fmt.Sprintf("dense-net-d%d", p.net.ParamCount())
+}
 
 func (p *denseProblem) initParams(v *paramvec.Vector, seed uint64) {
 	v.RandInit(rng.New(seed), nn.DefaultSigma)
@@ -256,6 +263,10 @@ func newSparseProblem(ds *sparse.Dataset, asDense bool) *sparseProblem {
 
 func (p *sparseProblem) dim() int     { return p.ds.Dim }
 func (p *sparseProblem) dataLen() int { return len(p.ds.Examples) }
+
+func (p *sparseProblem) describe() string {
+	return fmt.Sprintf("sparse-logreg-d%d", p.ds.Dim)
+}
 
 // initParams zeroes θ0 — the conventional start for logistic regression and
 // the one the package's reference trainers use, so loss trajectories are

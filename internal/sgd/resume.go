@@ -1,0 +1,81 @@
+// Resume: restart a killed run from its newest valid rotated checkpoint.
+// The caller passes the SAME Config the original run was started with;
+// Resume loads the checkpoint lineage (skipping a corrupt newest file),
+// subtracts the updates already spent from the budget — so crash + resume
+// applies exactly MaxUpdates total — reseeds the sample streams from the
+// checkpointed RNG state, and warm-starts the autotuner at the checkpointed
+// (S, Tp) instead of making it re-climb the ladders from scratch.
+package sgd
+
+import (
+	"fmt"
+
+	"leashedsgd/internal/checkpoint"
+	"leashedsgd/internal/data"
+	"leashedsgd/internal/nn"
+)
+
+// Resume validates like Start, then continues the dense run recorded under
+// cfg.Checkpoint.Path. The returned Result accounts the whole lineage:
+// ResumedFrom is the checkpoint's cumulative update count and
+// ResumedFrom + TotalUpdates == the original MaxUpdates when the resumed leg
+// runs to budget exhaustion.
+func Resume(cfg Config, net *nn.Network, ds *data.Dataset) (*Running, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if net.InDim() != ds.Dim() {
+		return nil, fmt.Errorf("sgd: network input %d != dataset dim %d", net.InDim(), ds.Dim())
+	}
+	if net.OutDim() != ds.Classes {
+		return nil, fmt.Errorf("sgd: network output %d != dataset classes %d", net.OutDim(), ds.Classes)
+	}
+	cfg, rs, err := loadResume(cfg, net.ParamCount())
+	if err != nil {
+		return nil, err
+	}
+	return launch(cfg, &denseProblem{net: net, ds: ds}, rs)
+}
+
+// loadResume loads the newest valid checkpoint under cfg.Checkpoint.Path and
+// rewrites cfg for the continuation leg: remaining budget, derived seed, and
+// the warm-start tuning state.
+func loadResume(cfg Config, dim int) (Config, *resumeState, error) {
+	if cfg.Checkpoint.Path == "" {
+		return cfg, nil, fmt.Errorf("sgd: Resume requires Checkpoint.Path")
+	}
+	meta, params, file, err := checkpoint.LoadNewest(cfg.Checkpoint.Path)
+	if err != nil {
+		return cfg, nil, fmt.Errorf("sgd: no resumable checkpoint under %s: %w", cfg.Checkpoint.Path, err)
+	}
+	if meta.Dim != dim {
+		return cfg, nil, fmt.Errorf("sgd: checkpoint %s has dim %d, model has %d", file, meta.Dim, dim)
+	}
+	prior := meta.Updates
+	if prior < 0 {
+		return cfg, nil, fmt.Errorf("sgd: checkpoint %s has negative update count %d", file, prior)
+	}
+	if cfg.MaxUpdates > 0 {
+		if prior >= cfg.MaxUpdates {
+			return cfg, nil, fmt.Errorf("sgd: checkpoint %s already has %d updates of a %d budget — nothing to resume",
+				file, prior, cfg.MaxUpdates)
+		}
+		cfg.MaxUpdates -= prior
+	}
+	// The sample streams continue from a seed derived at save time from
+	// (original seed, cumulative updates): deterministic for a fixed kill
+	// point, never a replay of the already-consumed prefix.
+	if meta.RNGState != 0 {
+		cfg.Seed = meta.RNGState
+	}
+	// Warm start: a resumed autotuned run begins where the tuner had
+	// climbed to, not at the configured origin. LeashedAdaptive keeps Tp
+	// worker-owned, so only S carries over there.
+	if cfg.AutoTune && meta.AutoTune && meta.Shards > 0 {
+		cfg.AutoShardInitial = meta.Shards
+		if cfg.Algo != LeashedAdaptive && meta.Tp > 0 {
+			cfg.Persistence = meta.Tp
+		}
+	}
+	return cfg, &resumeState{params: params, prior: prior}, nil
+}

@@ -1,0 +1,305 @@
+package sgd
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"leashedsgd/internal/checkpoint"
+	"leashedsgd/internal/faultinject"
+)
+
+// startCheckpointed launches a run with aggressive checkpoint cadence and
+// blocks until at least minCkpts rotated checkpoints exist, then stops it.
+// Returns the first leg's Result.
+func startCheckpointed(t *testing.T, cfg Config, minCkpts int) *Result {
+	t.Helper()
+	ds := tinyDataset()
+	r, err := Start(cfg, tinyNet(ds), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for len(checkpoint.Candidates(cfg.Checkpoint.Path)) < minCkpts {
+		select {
+		case <-r.Done():
+			t.Fatalf("run finished (budget %d) before writing %d checkpoints", cfg.MaxUpdates, minCkpts)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no %d checkpoints after 20s", minCkpts)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	return r.Wait()
+}
+
+func ckptConfig(t *testing.T, algo Algorithm, workers int) Config {
+	cfg := testConfig(algo, workers)
+	cfg.EpsilonFrac = 0 // run to budget, not to a loss target
+	cfg.MaxUpdates = 40000
+	if testing.Short() {
+		// The race-instrumented CI legs run -short: keep the lineage budget
+		// completable well inside MaxTime under the detector's slowdown, or
+		// the exact-budget assertion races the clock instead of the code.
+		cfg.MaxUpdates = 6000
+	}
+	cfg.MaxTime = 60 * time.Second
+	cfg.EvalEvery = time.Millisecond
+	cfg.Checkpoint = CheckpointConfig{
+		Every: time.Millisecond,
+		Path:  filepath.Join(t.TempDir(), "ckpt"),
+	}
+	return cfg
+}
+
+// TestKillResumeExactBudget is the crash/resume equivalence contract: a run
+// killed mid-flight and resumed from its newest checkpoint completes EXACTLY
+// the original budget — ResumedFrom + TotalUpdates == MaxUpdates — across
+// representative algorithm × shards × autotune arms.
+func TestKillResumeExactBudget(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"leashed-s1", func(c *Config) {}},
+		{"leashed-s4", func(c *Config) { c.Shards = 4 }},
+		{"leashed-autotune", func(c *Config) { c.AutoTune = true; c.Persistence = 2 }},
+		{"hogwild", func(c *Config) { c.Algo = Hogwild }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := ckptConfig(t, Leashed, 2)
+			tc.mut(&cfg)
+			res1 := startCheckpointed(t, cfg, 1)
+			if res1.Checkpoints == 0 {
+				t.Fatalf("first leg reported no checkpoints (%d files on disk)",
+					len(checkpoint.Candidates(cfg.Checkpoint.Path)))
+			}
+			if res1.TotalUpdates >= cfg.MaxUpdates {
+				t.Skipf("first leg finished its whole budget (%d) before the kill", res1.TotalUpdates)
+			}
+
+			ds := tinyDataset()
+			r2, err := Resume(cfg, tinyNet(ds), ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res2 := r2.Wait()
+			if res2.ResumedFrom <= 0 {
+				t.Fatalf("ResumedFrom = %d, want > 0", res2.ResumedFrom)
+			}
+			if res2.ResumedFrom > res1.TotalUpdates {
+				t.Fatalf("resumed from %d updates but first leg only applied %d",
+					res2.ResumedFrom, res1.TotalUpdates)
+			}
+			if got := res2.ResumedFrom + res2.TotalUpdates; got != cfg.MaxUpdates {
+				t.Fatalf("lineage applied %d updates (%d resumed + %d), want exactly %d",
+					got, res2.ResumedFrom, res2.TotalUpdates, cfg.MaxUpdates)
+			}
+			// Loss envelope: the resumed leg continues training, it does not
+			// restart or diverge — a full-budget lineage on this dataset ends
+			// well below the initialization plateau.
+			if res2.Outcome == Crashed {
+				t.Fatalf("resumed leg crashed (loss %v)", res2.FinalLoss)
+			}
+			if res2.FinalLoss != res2.FinalLoss || res2.FinalLoss >= res1.InitialLoss {
+				t.Fatalf("resumed leg final loss %v not below the fresh-init loss %v",
+					res2.FinalLoss, res1.InitialLoss)
+			}
+		})
+	}
+}
+
+// TestInjectedTornCheckpointWrites makes the first two checkpoint writes tear
+// mid-file via the injector: the failures are counted, they leave no torn
+// file behind (a torn temp never becomes a candidate), later writes succeed,
+// and the lineage still resumes with an exact budget.
+func TestInjectedTornCheckpointWrites(t *testing.T) {
+	cfg := ckptConfig(t, Leashed, 2)
+	cfg.FaultInjector = faultinject.New(5, faultinject.Rule{
+		Site: faultinject.CheckpointWrite, Kind: faultinject.KindFail,
+		Prob: 1, Limit: 2,
+	})
+	res1 := startCheckpointed(t, cfg, 2)
+	if res1.CheckpointErrors != 2 {
+		t.Fatalf("CheckpointErrors = %d, want the 2 injected torn writes", res1.CheckpointErrors)
+	}
+	if res1.Checkpoints < 2 {
+		t.Fatalf("Checkpoints = %d, want >= 2 successful writes after the burst", res1.Checkpoints)
+	}
+	for _, c := range checkpoint.Candidates(cfg.Checkpoint.Path) {
+		if _, _, err := checkpoint.Load(c.File); err != nil {
+			t.Fatalf("torn write leaked a corrupt candidate %s: %v", c.File, err)
+		}
+	}
+	if res1.TotalUpdates >= cfg.MaxUpdates {
+		t.Skipf("first leg finished its whole budget before the kill")
+	}
+
+	ds := tinyDataset()
+	r2, err := Resume(cfg, tinyNet(ds), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := r2.Wait()
+	if got := res2.ResumedFrom + res2.TotalUpdates; got != cfg.MaxUpdates {
+		t.Fatalf("lineage applied %d updates, want exactly %d", got, cfg.MaxUpdates)
+	}
+}
+
+// TestResumeSkipsCorruptNewest kills a run after several checkpoints, then
+// corrupts the newest file — the torn-write crash case — and resumes: the
+// loader must fall back to the previous valid checkpoint, not fail.
+func TestResumeSkipsCorruptNewest(t *testing.T) {
+	cfg := ckptConfig(t, Leashed, 2)
+	res1 := startCheckpointed(t, cfg, 2)
+	if res1.TotalUpdates >= cfg.MaxUpdates {
+		t.Skipf("first leg finished its whole budget before the kill")
+	}
+
+	cands := checkpoint.Candidates(cfg.Checkpoint.Path)
+	if len(cands) < 2 {
+		t.Fatalf("need >= 2 checkpoints, have %d", len(cands))
+	}
+	// Corrupt the newest mid-body: the CRC must reject it.
+	raw, err := os.ReadFile(cands[0].File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(cands[0].File, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantMeta, _, err := checkpoint.Load(cands[1].File)
+	if err != nil {
+		t.Fatalf("second-newest checkpoint unreadable: %v", err)
+	}
+
+	ds := tinyDataset()
+	r2, err := Resume(cfg, tinyNet(ds), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := r2.Wait()
+	if res2.ResumedFrom != wantMeta.Updates {
+		t.Fatalf("ResumedFrom = %d, want the second-newest checkpoint's %d",
+			res2.ResumedFrom, wantMeta.Updates)
+	}
+	if got := res2.ResumedFrom + res2.TotalUpdates; got != cfg.MaxUpdates {
+		t.Fatalf("lineage applied %d updates, want exactly %d", got, cfg.MaxUpdates)
+	}
+}
+
+// TestResumeWarmStartsTuner resumes an autotuned run from a hand-written
+// checkpoint carrying tuned (S=4, Tp=2) and checks the tuner starts THERE:
+// the first recorded trajectory entries are the checkpointed values, not the
+// configured origin.
+func TestResumeWarmStartsTuner(t *testing.T) {
+	ds := tinyDataset()
+	net := tinyNet(ds)
+	cfg := ckptConfig(t, Leashed, 2)
+	cfg.AutoTune = true
+	cfg.Persistence = 8
+	cfg.AutoShardInitial = 1
+	cfg.MaxUpdates = 500
+
+	d := net.ParamCount()
+	meta := checkpoint.Meta{
+		Arch: "dense-net", Dim: d, Algo: "LSH", Updates: 100,
+		Seed: cfg.Seed, RNGState: 12345, Shards: 4, Tp: 2, SPos: 2, TpPos: 1,
+		AutoTune: true, MaxUpdates: 500,
+	}
+	if err := checkpoint.Save(cfg.Checkpoint.Path+".000001", meta, make([]float64, d)); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Resume(cfg, net, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Wait()
+	if res.ResumedFrom != 100 {
+		t.Fatalf("ResumedFrom = %d, want 100", res.ResumedFrom)
+	}
+	if len(res.ShardTrajectory) == 0 || res.ShardTrajectory[0] != 4 {
+		t.Fatalf("ShardTrajectory = %v, want warm start at S=4", res.ShardTrajectory)
+	}
+	if len(res.TpTrajectory) == 0 || res.TpTrajectory[0] != 2 {
+		t.Fatalf("TpTrajectory = %v, want warm start at Tp=2", res.TpTrajectory)
+	}
+	if got := res.ResumedFrom + res.TotalUpdates; got != 500 {
+		t.Fatalf("lineage applied %d updates, want exactly 500", got)
+	}
+}
+
+// TestResumeErrors pins the failure modes: no checkpoint path, nothing on
+// disk, dimension mismatch, and an already-exhausted budget.
+func TestResumeErrors(t *testing.T) {
+	ds := tinyDataset()
+	net := tinyNet(ds)
+	base := testConfig(Leashed, 1)
+
+	if _, err := Resume(base, net, ds); err == nil {
+		t.Fatal("Resume without Checkpoint.Path should fail")
+	}
+
+	cfg := base
+	cfg.Checkpoint = CheckpointConfig{Every: time.Millisecond, Path: filepath.Join(t.TempDir(), "none")}
+	if _, err := Resume(cfg, net, ds); err == nil {
+		t.Fatal("Resume with no checkpoint on disk should fail")
+	}
+
+	cfg.Checkpoint.Path = filepath.Join(t.TempDir(), "dim")
+	if err := checkpoint.Save(cfg.Checkpoint.Path+".000001",
+		checkpoint.Meta{Arch: "x", Dim: 3, Updates: 1}, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(cfg, net, ds); err == nil {
+		t.Fatal("Resume with mismatched dimension should fail")
+	}
+
+	cfg.Checkpoint.Path = filepath.Join(t.TempDir(), "spent")
+	cfg.MaxUpdates = 100
+	d := net.ParamCount()
+	if err := checkpoint.Save(cfg.Checkpoint.Path+".000001",
+		checkpoint.Meta{Arch: "x", Dim: d, Updates: 100}, make([]float64, d)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(cfg, net, ds); err == nil {
+		t.Fatal("Resume with the budget already spent should fail")
+	}
+}
+
+// BenchmarkResumeFromCheckpoint measures the cold-start path: load the newest
+// checkpoint, rebuild the runtime and complete a 1-update leg.
+func BenchmarkResumeFromCheckpoint(b *testing.B) {
+	ds := tinyDataset()
+	net := tinyNet(ds)
+	cfg := testConfig(Leashed, 1)
+	cfg.EpsilonFrac = 0
+	cfg.MaxUpdates = 1000
+	cfg.EvalEvery = time.Millisecond
+	cfg.Checkpoint = CheckpointConfig{Every: time.Hour, Path: filepath.Join(b.TempDir(), "ckpt")}
+
+	d := net.ParamCount()
+	meta := checkpoint.Meta{Arch: "dense-net", Dim: d, Algo: "LSH", Updates: 999, MaxUpdates: 1000}
+	if err := checkpoint.Save(cfg.Checkpoint.Path+".000001", meta, make([]float64, d)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Resume(cfg, net, ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := r.Wait(); res.ResumedFrom+res.TotalUpdates != 1000 {
+			b.Fatalf("lineage applied %d+%d, want 1000", res.ResumedFrom, res.TotalUpdates)
+		}
+	}
+}

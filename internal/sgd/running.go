@@ -86,10 +86,22 @@ func Start(cfg Config, net *nn.Network, ds *data.Dataset) (*Running, error) {
 	return startProblem(cfg, &denseProblem{net: net, ds: ds})
 }
 
+// resumeState carries a loaded checkpoint into launch: the parameters to
+// start from instead of θ0, and the lineage's cumulative update count (the
+// budget already spent before this process).
+type resumeState struct {
+	params []float64
+	prior  int64
+}
+
 // startProblem is the representation-generic launch: one code path builds the
 // runtime, initializes θ0 through the problem, and wires the strategy — every
 // algorithm × every gradient representation, no per-algorithm forks.
 func startProblem(cfg Config, prob problem) (*Running, error) {
+	return launch(cfg, prob, nil)
+}
+
+func launch(cfg Config, prob problem, rs *resumeState) (*Running, error) {
 	if cfg.Eta <= 0 {
 		return nil, fmt.Errorf("sgd: step size must be positive, got %v", cfg.Eta)
 	}
@@ -105,9 +117,16 @@ func startProblem(cfg Config, prob problem) (*Running, error) {
 	rt := newRuntime(cfg, prob)
 
 	// θ0 is representation-owned: N(0, 0.01) for dense networks (the paper's
-	// rand_init), the zero vector for sparse logistic regression.
+	// rand_init), the zero vector for sparse logistic regression — unless a
+	// checkpoint resumes the lineage, in which case its parameters are the
+	// starting state and its cumulative count offsets the budget accounting.
 	initVec := paramvec.New(rt.pool)
-	rt.prob.initParams(initVec, cfg.Seed)
+	if rs != nil {
+		copy(initVec.Theta, rs.params)
+		rt.prior = rs.prior
+	} else {
+		rt.prob.initParams(initVec, cfg.Seed)
+	}
 
 	// One store-parameterized worker loop runs every algorithm; the
 	// strategy carries what differs (read protocol, publish protocol,
@@ -138,7 +157,7 @@ func startProblem(cfg Config, prob problem) (*Running, error) {
 func (r *Running) finish() {
 	rt, st := r.rt, r.st
 	cfg := rt.cfg
-	res := rt.monitor(st.snapshot)
+	res := rt.monitor(st)
 	rt.stop.Store(true)
 	rt.stopOnce.Do(func() { close(rt.stopped) })
 	r.wg.Wait()
@@ -178,6 +197,15 @@ func (r *Running) finish() {
 	}
 	res.TotalUpdates = rt.updates.Load()
 	res.Publishes = res.TotalUpdates
+	res.ResumedFrom = rt.prior
+	rt.faultMu.Lock()
+	res.WorkerFaults = append([]WorkerFault(nil), rt.faults...)
+	res.WorkerRestarts = rt.respawns
+	rt.faultMu.Unlock()
+	if ck := rt.ckpt; ck != nil {
+		res.Checkpoints = ck.wrote
+		res.CheckpointErrors = ck.failed
+	}
 	res.PeakLiveVectors = rt.pool.Peak()
 	res.FinalLiveVectors = rt.liveVectors()
 	res.BufferAllocs = rt.pool.Allocs()

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"leashedsgd/internal/data"
+	"leashedsgd/internal/faultinject"
 	"leashedsgd/internal/metrics"
 	"leashedsgd/internal/nn"
 	"leashedsgd/internal/paramvec"
@@ -184,7 +185,35 @@ type Config struct {
 	// scatter-publish benchmarks compare against and is ignored by dense
 	// runs (their steps are dense already).
 	SparseAsDense bool
+
+	// Checkpoint enables mid-run periodic checkpointing: on cadence the
+	// monitor takes a consistent parameter snapshot and writes a rotated,
+	// fsync'd checkpoint carrying the resume state (cumulative update
+	// count, derived RNG stream seed, shard count S, persistence bound Tp,
+	// tuner ladder positions). Resume restarts a crashed or killed run from
+	// the newest valid one. Inactive unless both Every and Path are set.
+	Checkpoint CheckpointConfig
+
+	// WorkerRestarts caps how many times the supervisor respawns one
+	// worker slot after recovered panics (crash isolation): 0 means the
+	// default (DefaultWorkerRestarts), negative disables respawning. A
+	// crashed worker's in-flight iteration is rolled back — its budget
+	// reservation refunded, its iteration-scoped leases and locks released
+	// — and recorded in Result.WorkerFaults, so a crash costs throughput
+	// but never the budget invariant.
+	WorkerRestarts int
+
+	// FaultInjector, when non-nil, threads the deterministic chaos harness
+	// (internal/faultinject) through the run: worker panics and straggler
+	// stalls per iteration, publish-failure bursts per LAU-SPC attempt,
+	// torn mid-run checkpoint writes. Nil — the default — costs the hot
+	// path one pointer check and nothing else.
+	FaultInjector *faultinject.Injector
 }
+
+// DefaultWorkerRestarts is the per-worker respawn cap when
+// Config.WorkerRestarts is unset.
+const DefaultWorkerRestarts = 4
 
 // withDefaults returns cfg with unset knobs filled in.
 func (c Config) withDefaults(dsLen int) Config {
@@ -232,6 +261,9 @@ func (c Config) withDefaults(dsLen int) Config {
 	}
 	if c.MaxUpdates <= 0 && c.MaxTime <= 0 {
 		c.MaxTime = 10 * time.Second
+	}
+	if c.WorkerRestarts == 0 {
+		c.WorkerRestarts = DefaultWorkerRestarts
 	}
 	return c
 }
@@ -381,6 +413,20 @@ type Result struct {
 	// monitor tick (aligned with Trace.Points[1:]), reproducing the
 	// paper's ps-based continuous memory measurement.
 	MemSamples []int64
+
+	// Fault-tolerance record. WorkerFaults lists every recovered worker
+	// panic (injected or genuine) in recovery order; WorkerRestarts counts
+	// the respawns the supervisor performed across all slots. Checkpoints /
+	// CheckpointErrors count the mid-run checkpoint saves that succeeded and
+	// failed (a failed save never disturbs previously rotated files).
+	// ResumedFrom is the cumulative update count of the checkpoint this run
+	// resumed from (0 for a fresh run), so across a crash+resume lineage
+	// ResumedFrom + TotalUpdates accounts for the original budget exactly.
+	WorkerFaults     []WorkerFault
+	WorkerRestarts   int
+	Checkpoints      int
+	CheckpointErrors int
+	ResumedFrom      int64
 }
 
 // MeanLiveVectors is the time-averaged live ParameterVector count.
@@ -457,6 +503,25 @@ type runCtx struct {
 	// the live epoch and the cross-epoch accounting.
 	auto *autoTuner
 
+	// inj is the optional deterministic fault injector (nil = disabled;
+	// every instrumented site guards with one pointer check).
+	inj *faultinject.Injector
+
+	// prior is the cumulative update count inherited from the checkpoint a
+	// resumed run restarted from; 0 for a fresh run. The budget fields above
+	// count THIS run only — prior+updates is the lineage total.
+	prior int64
+
+	// ckpt is the mid-run checkpoint writer state (nil when checkpointing
+	// is off); owned by the monitor goroutine.
+	ckpt *ckptState
+
+	// Worker-fault record, appended by supervisors as panics are recovered.
+	faultMu  sync.Mutex
+	faults   []WorkerFault
+	respawns int
+	dead     int // worker slots permanently out of restarts
+
 	// Per-worker instrumentation, merged after the run.
 	hists []*metrics.Hist
 	tcs   []*metrics.DurationSampler
@@ -506,7 +571,21 @@ func newRuntime(cfg Config, prob problem) *runCtx {
 		rt.tcs[i] = &metrics.DurationSampler{}
 		rt.tus[i] = &metrics.DurationSampler{}
 	}
+	rt.inj = cfg.FaultInjector
+	if cfg.Checkpoint.active() {
+		rt.ckpt = newCkptState(cfg.Checkpoint, rt.d)
+	}
 	return rt
+}
+
+// recordFault appends one recovered worker panic to the run's fault record.
+func (rt *runCtx) recordFault(f WorkerFault) {
+	rt.faultMu.Lock()
+	rt.faults = append(rt.faults, f)
+	if f.Respawned {
+		rt.respawns++
+	}
+	rt.faultMu.Unlock()
 }
 
 // budgetExhausted reports whether the update budget is spent (in applied
@@ -640,9 +719,12 @@ func (rt *runCtx) evalSubset() []int {
 // on rt.stopped (closed by Running.Stop), so budget-, time- and
 // stop-bounded endings are noticed immediately instead of at the next tick —
 // which used to inflate Elapsed/TimeToTarget by up to one EvalEvery
-// interval.
-func (rt *runCtx) monitor(snapshot func(dst []float64)) *Result {
+// interval. The monitor also owns the mid-run checkpoint cadence: on
+// Config.Checkpoint.Every it takes a consistent snapshot through the
+// strategy and writes a rotated checkpoint (checkpointing.go).
+func (rt *runCtx) monitor(st strategy) *Result {
 	cfg := rt.cfg
+	snapshot := st.snapshot
 	evalLoss := rt.prob.newLossEval(rt)
 	buf := make([]float64, rt.d)
 
@@ -711,6 +793,12 @@ func (rt *runCtx) monitor(snapshot func(dst []float64)) *Result {
 				res.Outcome = Converged
 			}
 			return finish()
+		}
+		// Checkpoint cadence — only for a run that is still going, so a
+		// crashed or finished state is never the newest checkpoint.
+		if ck := rt.ckpt; ck != nil && elapsed-ck.last >= cfg.Checkpoint.Every {
+			ck.last = elapsed
+			rt.writeCheckpoint(st, loss)
 		}
 	}
 }

@@ -52,6 +52,9 @@ func (rt *runCtx) newSyncStrategy(initVec *paramvec.Vector) *syncStrategy {
 
 func (st *syncStrategy) begin(w *loopWorker) bool {
 	_, ok := <-st.start[w.id]
+	// Token consumed: the coordinator now counts on this worker's round
+	// contribution, delivered by commit or — after a panic — by recoverIter.
+	w.midRound = ok
 	return ok
 }
 
@@ -67,7 +70,45 @@ func (st *syncStrategy) commit(w *loopWorker, s step) bool {
 	// gradients. The update itself (and its Tu sample) happens
 	// coordinator-side.
 	st.done <- s
+	w.midRound = false
 	return true
+}
+
+// nilStep is a zero contribution to a SYNC round: all applications are
+// no-ops, so averaging it in only scales the round's effective batch. It
+// stands in for a crashed or retired worker's gradient, keeping the
+// coordinator's drain count intact.
+type nilStep struct{}
+
+func (nilStep) addScaled([]float64, float64)                {}
+func (nilStep) applyVector(*paramvec.Vector, float64)       {}
+func (nilStep) atomicApply([]uint64, int, int, float64)     {}
+func (nilStep) hasIn(int, int) bool                         { return false }
+func (nilStep) nnzIn(int, int) int                          { return 0 }
+func (nilStep) publishChain(paramvec.ParamStore, int, paramvec.Range, *paramvec.Vector, *paramvec.Vector, float64) bool {
+	return true
+}
+
+// recoverIter keeps the round barrier sound after a worker panic: if the
+// worker had consumed its round token without delivering a contribution, a
+// zero step is sent in its place (done is buffered to the worker count, so
+// this never blocks) and the coordinator's drain completes normally.
+func (st *syncStrategy) recoverIter(w *loopWorker) {
+	if w.midRound {
+		w.midRound = false
+		st.done <- nilStep{}
+	}
+}
+
+// retireWorker answers round signals on behalf of a permanently dead slot
+// with zero contributions, so the coordinator — which drains exactly m steps
+// per round — never deadlocks on a worker that is out of restarts. Runs on
+// the slot's supervisor goroutine and exits when the coordinator closes the
+// start channels at end of run.
+func (st *syncStrategy) retireWorker(id int) {
+	for range st.start[id] {
+		st.done <- nilStep{}
+	}
 }
 
 func (st *syncStrategy) loopTimesCommit() bool { return false }

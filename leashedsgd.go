@@ -124,6 +124,18 @@ const (
 	Crashed   = sgd.Crashed
 )
 
+// CheckpointConfig enables mid-run periodic checkpointing on a training
+// run; set it as Config.Checkpoint. The monitor writes rotated files
+// `Path.NNNNNN` on the Every cadence (Keep retained) with atomic
+// temp-file+rename+fsync saves, so a crash at any instant leaves a valid
+// lineage on disk. See ResumeTrain for the restart side.
+type CheckpointConfig = sgd.CheckpointConfig
+
+// WorkerFault records one worker crash that the supervisor recovered (the
+// worker's held locks, leases and reserved budget were rolled back, and the
+// slot respawned up to Config.WorkerRestarts times); see Result.WorkerFaults.
+type WorkerFault = sgd.WorkerFault
+
 // Dataset is an in-memory labeled image dataset.
 type Dataset = data.Dataset
 
@@ -246,6 +258,23 @@ func StartTrain(cfg Config, m *Model, ds *Dataset) (*Training, error) {
 		return nil, fmt.Errorf("leashedsgd: nil dataset")
 	}
 	return sgd.Start(cfg, m.net, ds)
+}
+
+// ResumeTrain restarts a killed or crashed run from its newest valid
+// checkpoint under cfg.Checkpoint.Path, skipping files that fail validation
+// (torn by a crash mid-save, corrupted on disk). The parameters are restored
+// from the checkpoint, cfg.MaxUpdates is reduced by the updates already
+// applied — so the resumed lineage completes the exact original budget — and
+// the (S, Tp) autotuner warm-starts from the checkpointed operating point.
+// The run continues rotating checkpoints into the same lineage.
+func ResumeTrain(cfg Config, m *Model, ds *Dataset) (*Training, error) {
+	if m == nil || m.net == nil {
+		return nil, fmt.Errorf("leashedsgd: nil model")
+	}
+	if ds == nil {
+		return nil, fmt.Errorf("leashedsgd: nil dataset")
+	}
+	return sgd.Resume(cfg, m.net, ds)
 }
 
 // Evaluate computes the mean cross-entropy loss and classification accuracy
