@@ -393,6 +393,12 @@ func BenchmarkAutoShard(b *testing.B) {
 // (harness.JointKnee), and require the controller's landing point to sit
 // within one doubling per axis — ratio ≤ 2 for S, one ladder step for Tp —
 // of that knee, with both trajectories populated.
+//
+// The model-guided arm (AutoTuneModel) faces the same landing-point gate
+// PLUS the convergence-speed gate it was built for: it must reach its
+// operating point in at most ONE move per axis (trajectory length ≤ 2 on
+// each) instead of the ladder's one-step-per-window walk, and must report a
+// fitted model. The ladder arm runs unchanged as the control.
 func BenchmarkJointAutotune(b *testing.B) {
 	workers := 8
 	if m := 2 * runtime.GOMAXPROCS(0); m > workers {
@@ -447,6 +453,57 @@ func BenchmarkJointAutotune(b *testing.B) {
 		} else if d := fi - ti; d < -1 || d > 1 {
 			b.Errorf("controller landed at Tp=%d, more than one ladder step from knee Tp=%d (grid %+v)",
 				finalTp, kneeTp, grid)
+		}
+
+		// Model-guided arm: same workload, same knee gate, plus the
+		// ≤1-move-per-axis convergence gate.
+		model := harness.AlgoSpec{Name: "LSH_model", Algo: sgd.Leashed,
+			Persistence: sgd.PersistenceInf, AutoTuneModel: true}
+		mcell := harness.RunCell(scAuto, model, workers, 0, scAuto.Eta, false)
+		mres := mcell.Results[0]
+		mf := mres.ModelFit
+		if mf == nil {
+			b.Fatalf("model-guided run missing Result.ModelFit")
+		}
+		mTp := sgd.PersistenceInf
+		if n := len(mres.TpTrajectory); n > 0 {
+			mTp = mres.TpTrajectory[n-1]
+		}
+		if i == 0 {
+			fmt.Printf("m=%d model: final (Tp=%d,S=%d) trajS=%v trajTp=%v jumps=%d ladder=%d fitted=%v resid=%.3f occ=%.2f\n",
+				workers, mTp, mres.Shards, mres.ShardTrajectory, mres.TpTrajectory,
+				mf.Jumps, mf.LadderMoves, mf.Fitted, mf.Residual, mf.PredictedOccupancy)
+		}
+		b.ReportMetric(float64(mres.Shards), "modelS")
+		b.ReportMetric(float64(mTp), "modelTp")
+		b.ReportMetric(float64(mf.Jumps), "modelJumps")
+		b.ReportMetric(float64(len(mres.ShardTrajectory)-1), "modelMovesS")
+		b.ReportMetric(float64(len(mres.TpTrajectory)-1), "modelMovesTp")
+		b.ReportMetric(mf.Residual, "modelResid")
+		if !mf.Fitted {
+			b.Errorf("model-guided run never accepted a fit (fits=%d rejected=%d fallback windows=%d)",
+				mf.Fits, mf.Rejected, mf.FallbackWindows)
+		}
+		// ≤1 hysteresis window per axis: the jump replaces the ladder walk,
+		// so each trajectory holds at most the start plus one move.
+		if len(mres.ShardTrajectory) > 2 || len(mres.TpTrajectory) > 2 {
+			b.Errorf("model-guided arm took more than one move per axis: S %v, Tp %v (jumps=%d, ladder moves=%d)",
+				mres.ShardTrajectory, mres.TpTrajectory, mf.Jumps, mf.LadderMoves)
+		}
+		if mres.Shards > 2*kneeS || kneeS > 2*mres.Shards {
+			b.Errorf("model arm landed at S=%d, more than one doubling from knee S=%d", mres.Shards, kneeS)
+		}
+		mi := -1
+		for j, tp := range tps {
+			if tp == mTp {
+				mi = j
+			}
+		}
+		if mi < 0 {
+			b.Errorf("model final Tp=%d is not on the tuned ladder %v", mTp, tps)
+		} else if d := mi - ti; d < -1 || d > 1 {
+			b.Errorf("model arm landed at Tp=%d, more than one ladder step from knee Tp=%d (grid %+v)",
+				mTp, kneeTp, grid)
 		}
 	}
 }

@@ -189,8 +189,9 @@ func runStep(step string, sc harness.Scale, threads, shardCounts []int, emit fun
 		emit(harness.AutoShardSweep(sc, m, shardCounts, sgd.PersistenceInf))
 	case "jointtune":
 		// Two-dimensional follow-up: the static Tp×S reference grid and
-		// the joint (Tp, S) controller's landing point with both
-		// trajectories.
+		// the landing points of both joint (Tp, S) controllers — the
+		// hill-climbing ladder and the model-guided jumper — with their
+		// trajectories, jump counts and fit residuals.
 		m := threads[len(threads)-1] * 2
 		sweep, auto := harness.JointTuneCompare(sc, m, []int{16, 4, 1, 0}, shardCounts)
 		emit(sweep, auto)
@@ -275,7 +276,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   leashed run <s1|s1-eta|s2|s3|s4|s5|fig9|shards|autotune|jointtune|serveload|sparse|chaos> [flags]
   leashed run-all [flags]
-  leashed train [-algo LSH] [-arch mlp] [-workers N] [-shards S] [-autoshard] [-autotune] [-json] [-ckpt FILE] [-ckpt-every DUR] [-ckpt-keep N] [-resume] [-updates N] ...
+  leashed train [-algo LSH] [-arch mlp] [-workers N] [-shards S] [-autoshard] [-autotune] [-autotune-model] [-json] [-ckpt FILE] [-ckpt-every DUR] [-ckpt-keep N] [-resume] [-updates N] ...
   leashed serve [-addr HOST:PORT] [-arch mlp] [-workers N] [-budget DUR] [-store leased|readfront] [-leash-age DUR] ...
   leashed table1
 flags: -scale small|paper -arch A -threads 1,2,4 -trials N -budget DUR -shards 1,2,4,8 -csv FILE`)

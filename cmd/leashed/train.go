@@ -25,6 +25,7 @@ func runTrain(args []string) {
 	shards := fs.Int("shards", 1, "published-vector shard count (LSH/HOG; 1 = paper's single chain)")
 	autoShard := fs.Bool("autoshard", false, "autotune the shard count from observed contention (LSH; excludes -shards)")
 	autoTune := fs.Bool("autotune", false, "jointly autotune shard count AND persistence bound (LSH; excludes -shards)")
+	autoTuneModel := fs.Bool("autotune-model", false, "model-guided joint autotune: fit the queueing model online and jump to its predicted (S, Tp) (LSH; excludes -shards)")
 	epsilon := fs.Float64("epsilon", 0.25, "convergence target as fraction of initial loss (0 = run to budget)")
 	budget := fs.Duration("budget", 60*time.Second, "time budget")
 	samples := fs.Int("samples", 1024, "dataset size")
@@ -74,6 +75,7 @@ func runTrain(args []string) {
 		Shards:          *shards,
 		AutoShard:       *autoShard,
 		AutoTune:        *autoTune,
+		AutoTuneModel:   *autoTuneModel,
 		EpsilonFrac:     *epsilon,
 		MaxTime:         *budget,
 		MaxUpdates:      *updates,
@@ -205,6 +207,17 @@ func runTrain(args []string) {
 		if res.TpTrajectory != nil {
 			out["tp_trajectory"] = res.TpTrajectory
 		}
+		if mf := res.ModelFit; mf != nil {
+			out["model_fitted"] = mf.Fitted
+			out["model_jumps"] = mf.Jumps
+			out["model_ladder_moves"] = mf.LadderMoves
+			if mf.Fitted {
+				out["model_residual"] = mf.Residual
+				out["model_predicted_s"] = mf.PredictedS
+				out["model_predicted_tp"] = mf.PredictedTp
+				out["model_occupancy"] = mf.PredictedOccupancy
+			}
+		}
 		if res.ResumedFrom > 0 {
 			out["resumed_from"] = res.ResumedFrom
 		}
@@ -245,6 +258,16 @@ func runTrain(args []string) {
 	if n := len(res.TpTrajectory); n > 0 {
 		fmt.Printf("autotune Tp trajectory %v (final Tp=%d)\n",
 			res.TpTrajectory, res.TpTrajectory[n-1])
+	}
+	if mf := res.ModelFit; mf != nil {
+		if mf.Fitted {
+			fmt.Printf("model fit: residual %.3f, predicted (S=%d, Tp=%d) occ %.2f; landed (S=%d, Tp=%d) via %d jump(s), %d ladder move(s)\n",
+				mf.Residual, mf.PredictedS, mf.PredictedTp, mf.PredictedOccupancy,
+				mf.FinalS, mf.FinalTp, mf.Jumps, mf.LadderMoves)
+		} else {
+			fmt.Printf("model fit: no accepted fit (%d fits, %d rejected, %d fallback windows); ladder steered (S=%d, Tp=%d)\n",
+				mf.Fits, mf.Rejected, mf.FallbackWindows, mf.FinalS, mf.FinalTp)
+		}
 	}
 	if res.ResumedFrom > 0 {
 		fmt.Printf("resumed from checkpoint at update %d (%d applied this leg)\n",

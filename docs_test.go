@@ -1,0 +1,127 @@
+package leashedsgd_test
+
+// Documentation link checker: every relative link and intra-doc anchor in
+// README.md and docs/**/*.md must resolve. CI runs this in the docs job, so
+// a renamed page, a moved heading or a typoed path fails the push instead
+// of shipping a dead link.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns the markdown files under the doc surface: the README
+// plus everything in docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md"}
+	matches, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no markdown files under docs/")
+	}
+	files = append(files, matches...)
+	return files
+}
+
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// stripFenced removes fenced code blocks so example snippets cannot
+// produce false link matches.
+func stripFenced(src string) string {
+	var out []string
+	fenced := false
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if !fenced {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// headingAnchors returns the GitHub-style anchor slugs of every ATX
+// heading in a markdown source: lowercase, formatting markers dropped,
+// punctuation removed, spaces to hyphens.
+func headingAnchors(src string) map[string]bool {
+	anchors := make(map[string]bool)
+	clean := regexp.MustCompile("[^a-z0-9_\\- ]+")
+	for _, line := range strings.Split(stripFenced(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		text := strings.TrimLeft(trimmed, "#")
+		text = strings.TrimSpace(text)
+		text = strings.ReplaceAll(text, "`", "")
+		text = strings.ReplaceAll(text, "*", "")
+		slug := clean.ReplaceAllString(strings.ToLower(text), "")
+		slug = strings.ReplaceAll(slug, " ", "-")
+		anchors[slug] = true
+	}
+	return anchors
+}
+
+func TestDocsRelativeLinksResolve(t *testing.T) {
+	sources := make(map[string]string)
+	for _, f := range docFiles(t) {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources[f] = string(b)
+	}
+
+	for file, src := range sources {
+		for _, m := range mdLink.FindAllStringSubmatch(stripFenced(src), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not checked offline
+			}
+			path, frag, _ := strings.Cut(target, "#")
+
+			resolved := file
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(file), path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: dead link %q: %v", file, target, err)
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			targetSrc, ok := sources[resolved]
+			if !ok {
+				b, err := os.ReadFile(resolved)
+				if err != nil {
+					t.Errorf("%s: anchor link %q: %v", file, target, err)
+					continue
+				}
+				targetSrc = string(b)
+			}
+			if !headingAnchors(targetSrc)[frag] {
+				t.Errorf("%s: dangling anchor %q (no heading slugs to %q in %s)",
+					file, target, frag, resolved)
+			}
+		}
+	}
+}
+
+// TestDocsPagesExist pins the documentation contract: the four pages the
+// README links to must all be present.
+func TestDocsPagesExist(t *testing.T) {
+	for _, page := range []string{"architecture.md", "tuning.md", "cli.md", "benchmarks.md"} {
+		if _, err := os.Stat(filepath.Join("docs", page)); err != nil {
+			t.Errorf("missing docs page: %v", err)
+		}
+	}
+}

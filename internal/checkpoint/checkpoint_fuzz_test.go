@@ -31,10 +31,10 @@ func FuzzReadCheckpoint(f *testing.F) {
 	good := validCheckpointBytes(f, 8)
 	f.Add(good)
 	f.Add([]byte{})
-	f.Add(good[:8])             // magic only
-	f.Add(good[:12])            // magic + meta length, no meta
-	f.Add(good[:len(good)-4])   // CRC stripped
-	f.Add(good[:len(good)-11])  // truncated mid-parameters
+	f.Add(good[:8])            // magic only
+	f.Add(good[:12])           // magic + meta length, no meta
+	f.Add(good[:len(good)-4])  // CRC stripped
+	f.Add(good[:len(good)-11]) // truncated mid-parameters
 	corrupt := append([]byte(nil), good...)
 	corrupt[len(corrupt)/2] ^= 0xff // body flip: CRC must catch it
 	f.Add(corrupt)
@@ -57,7 +57,7 @@ func FuzzReadCheckpoint(f *testing.F) {
 		return buf.Bytes()
 	}()
 	f.Add(midrun)
-	f.Add(midrun[:len(midrun)-6]) // truncated mid-parameters
+	f.Add(midrun[:len(midrun)-6])                    // truncated mid-parameters
 	f.Add(append(append([]byte(nil), midrun...), 0)) // trailing byte
 	// Dimension bomb: honest dlen, hostile meta.Dim with no params behind it.
 	dimBomb := []byte(`{"arch":"x","dim":67108864}`)

@@ -379,31 +379,45 @@ func JointTuneCompare(sc Scale, workers int, tps, shardCounts []int) (sweep, aut
 	ti, si := JointKnee(grid, tps, shardCounts)
 
 	auto = report.NewTable(
-		fmt.Sprintf("Joint autotune: controller vs static knee Tp=%d S=%d, m=%d [%s]",
+		fmt.Sprintf("Joint autotune: ladder vs model-guided vs static knee Tp=%d S=%d, m=%d [%s]",
 			tps[ti], shardCounts[si], workers, sc.Arch),
-		"config", "S", "Tp", "iters", "failed/pub", "mixed%", "trajectory S", "trajectory Tp", "reshards")
+		"config", "S", "Tp", "iters", "failed/pub", "mixed%",
+		"trajectory S", "trajectory Tp", "reshards", "jumps", "fit resid")
 	s := sc
 	s.Trials = 1
-	spec := AlgoSpec{Name: "LSH_joint", Algo: sgd.Leashed, Persistence: sgd.PersistenceInf, AutoTune: true}
-	cell := RunCell(s, spec, workers, 0, s.Eta, false)
-	res := cell.Results[0]
-	mixed := 0.0
-	if reads := res.ConsistentReads + res.MixedReads; reads > 0 {
-		mixed = float64(res.MixedReads) / float64(reads)
+	specs := []AlgoSpec{
+		{Name: "LSH_joint", Algo: sgd.Leashed, Persistence: sgd.PersistenceInf, AutoTune: true},
+		{Name: "LSH_model", Algo: sgd.Leashed, Persistence: sgd.PersistenceInf, AutoTuneModel: true},
 	}
-	finalTp := -1
-	if n := len(res.TpTrajectory); n > 0 {
-		finalTp = res.TpTrajectory[n-1]
+	for _, spec := range specs {
+		cell := RunCell(s, spec, workers, 0, s.Eta, false)
+		res := cell.Results[0]
+		mixed := 0.0
+		if reads := res.ConsistentReads + res.MixedReads; reads > 0 {
+			mixed = float64(res.MixedReads) / float64(reads)
+		}
+		finalTp := -1
+		if n := len(res.TpTrajectory); n > 0 {
+			finalTp = res.TpTrajectory[n-1]
+		}
+		jumps, resid := "-", "-"
+		if mf := res.ModelFit; mf != nil {
+			jumps = fmt.Sprintf("%d(+%d lad)", mf.Jumps, mf.LadderMoves)
+			if mf.Fitted {
+				resid = fmt.Sprintf("%.3f", mf.Residual)
+			}
+		}
+		auto.AddRow(spec.Name,
+			fmt.Sprintf("%d", res.Shards),
+			fmt.Sprintf("%d", finalTp),
+			fmt.Sprintf("%d", res.TotalUpdates),
+			fmt.Sprintf("%.4f", res.FailedPerPublish()),
+			fmt.Sprintf("%.2f", 100*mixed),
+			trajString(res.ShardTrajectory),
+			trajString(res.TpTrajectory),
+			fmt.Sprintf("%d", res.Reshards),
+			jumps, resid)
 	}
-	auto.AddRow(spec.Name,
-		fmt.Sprintf("%d", res.Shards),
-		fmt.Sprintf("%d", finalTp),
-		fmt.Sprintf("%d", res.TotalUpdates),
-		fmt.Sprintf("%.4f", res.FailedPerPublish()),
-		fmt.Sprintf("%.2f", 100*mixed),
-		trajString(res.ShardTrajectory),
-		trajString(res.TpTrajectory),
-		fmt.Sprintf("%d", res.Reshards))
 	return sweep, auto
 }
 

@@ -135,6 +135,11 @@ type AlgoSpec struct {
 	// by CAS contention, persistence bound by the mixed-version read rate
 	// (Leashed variants only; see sgd.Config.AutoTune).
 	AutoTune bool
+	// AutoTuneModel upgrades the controller to model-guided jumps: the
+	// Sec. IV fluid model is fitted online and the predicted (S, Tp) knee
+	// is taken in one move, with the ladder as fallback (implies AutoTune;
+	// see sgd.Config.AutoTuneModel).
+	AutoTuneModel bool
 }
 
 // ShardedAlgos returns the Leashed configurations across a shard-count
@@ -196,20 +201,21 @@ func RunCell(sc Scale, spec AlgoSpec, workers int, epsilon, eta float64, sampleT
 	for trial := 0; trial < sc.Trials; trial++ {
 		net, ds := sc.Arch.build(sc.Samples, sc.Seed)
 		cfg := sgd.Config{
-			Algo:         spec.Algo,
-			Workers:      workers,
-			Eta:          eta,
-			BatchSize:    sc.BatchSize,
-			Persistence:  spec.Persistence,
-			Shards:       spec.Shards,
-			AutoShard:    spec.AutoShard,
-			AutoTune:     spec.AutoTune,
-			Seed:         sc.Seed + uint64(trial)*7919,
-			EpsilonFrac:  epsilon,
-			MaxTime:      sc.MaxTime,
-			MaxUpdates:   sc.MaxUpdates,
-			EvalEvery:    sc.EvalEvery,
-			SampleTiming: sampleTiming,
+			Algo:          spec.Algo,
+			Workers:       workers,
+			Eta:           eta,
+			BatchSize:     sc.BatchSize,
+			Persistence:   spec.Persistence,
+			Shards:        spec.Shards,
+			AutoShard:     spec.AutoShard,
+			AutoTune:      spec.AutoTune,
+			AutoTuneModel: spec.AutoTuneModel,
+			Seed:          sc.Seed + uint64(trial)*7919,
+			EpsilonFrac:   epsilon,
+			MaxTime:       sc.MaxTime,
+			MaxUpdates:    sc.MaxUpdates,
+			EvalEvery:     sc.EvalEvery,
+			SampleTiming:  sampleTiming,
 		}
 		res, err := sgd.Run(cfg, net, ds)
 		if err != nil {

@@ -1,0 +1,275 @@
+// Inverse fitting of the Section IV fluid model. The forward direction
+// (queuemodel.go) predicts retry-loop occupancy from (m, Tc, Tu, γ); this
+// file estimates those parameters FROM the windowed counters a live run
+// already samples — failed publish-CAS attempts, successful publishes and
+// mixed-version read classifications per controller window, plus the Tc/Tu
+// phase timings of the uniform measurement path — and reports how well the
+// model explains the measurements (Fit.Residual), so a controller can jump
+// to the model's predicted operating point when the fit is good and fall
+// back to empirical hill-climbing when the model is falsified.
+//
+// The estimator's chain of identities, all from Sec. IV:
+//
+//   - a retry-loop pass on a chain with n concurrent occupants loses its CAS
+//     with probability q = (n−1)/n, so failed attempts per publish follow a
+//     geometric law with mean f = q/(1−q) = n−1: the windowed failed-CAS
+//     rate measures per-chain occupancy as n̂ = 1 + f, and with S chains the
+//     update-loop total is S·(1+f) (Fit.Contention);
+//   - a bounded publisher departs after a success or after Tp+1 lost CAS
+//     attempts, so it spends E = (1−q^(Tp+1))/(1−q) passes in the loop; the
+//     departure-rate gain of Corollary 3.2 is therefore
+//     1+γ = E_∞/E = 1/(1−q^(Tp+1)) (DropGamma);
+//   - plugging the measured Tc (gradient phase) and per-pass Tu into the
+//     γ-augmented recursion gives the fluid fixed point n*_γ
+//     (Corollary 3.1), an occupancy prediction INDEPENDENT of the
+//     contention-implied one — the gap between the two is the model's
+//     residual, i.e. the online validation of Theorem 3's closed form
+//     against the live system.
+package queuemodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// fitInformativeRate is the pooled failed-per-publish rate below which the
+// contention-implied occupancy carries no information: failed CAS attempts
+// are the only occupancy probe a live run has, and with (almost) none
+// observed the S·(1+f) estimate floors at S whatever the true occupancy is —
+// time-sliced oversubscription in particular completes most passes without
+// interleaving, starving the probe while the fluid balance still holds in
+// wall-clock terms. Below this rate the fluid-vs-contention gap is therefore
+// not evidence against the model (and the tuner has nothing to act on either
+// way); the residual falls back to cross-window stability alone.
+const fitInformativeRate = 0.005
+
+// Observation is one sampling window of measured LAU-SPC signals — the
+// per-window deltas of the counters the sgd autotune controller already
+// tracks. Windows with Published == 0 carry no contention signal and are
+// skipped by FitWindows.
+type Observation struct {
+	Failed    int64 // failed publish-CAS attempts in the window
+	Published int64 // successful chain publishes in the window
+	Mixed     int64 // leased reads classified mixed-version
+	Reads     int64 // total leased reads
+}
+
+// FitConfig describes the operating point the observations were measured at
+// plus the (optional) phase timings.
+type FitConfig struct {
+	M      int // worker count m
+	Shards int // shard count S in effect during the windows (≥ 1)
+	// Tp is the persistence bound in effect (negative = unbounded), used to
+	// recover the drop gain γ from the loss probability q.
+	Tp int
+	// Tc is the measured gradient-phase duration and Tu the measured
+	// retry-loop pass duration (one publish attempt), in any common unit —
+	// only their ratio enters the model. Zero values switch the fit to
+	// inference mode: the ratio is derived from the contention-implied
+	// occupancy instead, which leaves only the cross-window stability check
+	// as residual.
+	Tc, Tu float64
+}
+
+// Fit is the fitted model plus its validation diagnostics.
+type Fit struct {
+	// Params is the fitted fluid model in normalized time units
+	// (min(Tc, Tu) = 2, inside Validate's stable regime): M and Tc as
+	// measured, Tu the expected UNBOUNDED per-visit loop time S·Tu/(1−q),
+	// and Gamma the drop gain DropGamma(Q, Tp) — so Params.FixedPoint is
+	// the Corollary 3.1/3.2 occupancy prediction at the observed point.
+	Params Params
+	// Q is the per-attempt CAS-loss probability f/(1+f) implied by the
+	// pooled failed-per-publish rate.
+	Q float64
+	// FailedPerPublish and MixedRate are the pooled windowed rates the fit
+	// consumed (the controller's two steering signals).
+	FailedPerPublish float64
+	MixedRate        float64
+	// Occupancy is the model-side occupancy prediction Params.FixedPoint().
+	Occupancy float64
+	// Contention is the measurement-side occupancy estimate S·(1+f).
+	Contention float64
+	// Residual is the fit's disagreement in [0, ∞): the relative gap
+	// between Occupancy and Contention (the Theorem 3 validation) combined
+	// with the cross-window coefficient of variation of the contention
+	// estimate. Small values mean the closed form explains the live
+	// counters; a controller should treat large values as the model being
+	// falsified on this workload and fall back to empirical tuning.
+	Residual float64
+	// Windows counts the observations that carried signal (Published > 0).
+	Windows int
+
+	cfg     FitConfig
+	tcU     float64 // Tc in normalized units
+	tuPassU float64 // per-pass Tu in normalized units
+}
+
+// DropGamma returns the persistence bound's departure-rate gain γ of
+// Corollary 3.2 implied by a per-attempt CAS-loss probability q and bound
+// Tp: a publisher departs after a success or after Tp+1 lost attempts, so
+// 1+γ = 1/(1−q^(Tp+1)). Tp < 0 (unbounded) and q = 0 give γ = 0.
+func DropGamma(q float64, tp int) float64 {
+	if tp < 0 || q <= 0 {
+		return 0
+	}
+	if q >= 1 {
+		q = 1 - 1e-9
+	}
+	drop := math.Pow(q, float64(tp+1))
+	return drop / (1 - drop)
+}
+
+// FitWindows estimates the fluid model from measured windows at one
+// operating point. It errors when the system cannot carry a contention
+// signal at all: no workers, a single worker (nothing to contend with), or
+// no window with a successful publish.
+func FitWindows(cfg FitConfig, obs []Observation) (Fit, error) {
+	if cfg.M <= 0 {
+		return Fit{}, fmt.Errorf("queuemodel: fit needs a positive worker count, got %d", cfg.M)
+	}
+	if cfg.M == 1 {
+		return Fit{}, fmt.Errorf("queuemodel: single-worker run has no contention to fit")
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+
+	var failed, pubs, mixed, reads int64
+	var perWin []float64 // per-window contention-implied occupancy
+	for _, o := range obs {
+		if o.Published <= 0 {
+			continue // zero-publish window: no rate is defined
+		}
+		failed += o.Failed
+		pubs += o.Published
+		mixed += o.Mixed
+		reads += o.Reads
+		perWin = append(perWin,
+			float64(cfg.Shards)*(1+float64(o.Failed)/float64(o.Published)))
+	}
+	if pubs == 0 {
+		return Fit{}, fmt.Errorf("queuemodel: no window published anything; nothing to fit")
+	}
+
+	f := float64(failed) / float64(pubs)
+	q := f / (1 + f)
+	x := 0.0
+	if reads > 0 {
+		x = float64(mixed) / float64(reads)
+	}
+	gamma := DropGamma(q, cfg.Tp)
+	nc := float64(cfg.Shards) * (1 + f)
+
+	// Time ratio: measured when both phase timings are present, otherwise
+	// inferred by inverting the fixed point at the contention-implied
+	// occupancy — N = m·U∞ / (Tc(1+γ) + U∞) with U∞ = S·Tu/(1−q) the
+	// unbounded per-visit loop time.
+	var tcRaw, uInfRaw float64
+	measured := cfg.Tc > 0 && cfg.Tu > 0
+	if measured {
+		tcRaw = cfg.Tc
+		uInfRaw = float64(cfg.Shards) * cfg.Tu / (1 - q)
+	} else {
+		bounded := math.Min(nc, 0.99*float64(cfg.M))
+		tcRaw = (float64(cfg.M)/bounded - 1) / (1 + gamma)
+		uInfRaw = 1
+	}
+	// Normalize so the smaller phase is 2 time steps: 1/Tc + 1/Tu ≤ 1 < 2
+	// keeps the recursion inside Validate's stable regime at any ratio.
+	scale := 2 / math.Min(tcRaw, uInfRaw)
+	p := Params{M: cfg.M, Tc: tcRaw * scale, Tu: uInfRaw * scale, Gamma: gamma}
+	if err := p.Validate(); err != nil {
+		return Fit{}, fmt.Errorf("queuemodel: fitted params invalid: %w", err)
+	}
+
+	fit := Fit{
+		Params:           p,
+		Q:                q,
+		FailedPerPublish: f,
+		MixedRate:        x,
+		Occupancy:        p.FixedPoint(),
+		Contention:       nc,
+		Windows:          len(perWin),
+		cfg:              cfg,
+		tcU:              p.Tc,
+		tuPassU:          p.Tu * (1 - q) / float64(cfg.Shards),
+	}
+
+	// Residual: fluid-vs-contention gap — only when the failed-CAS probe is
+	// informative (see fitInformativeRate) — combined with the cross-window
+	// stability of the contention estimate.
+	gap := 0.0
+	if measured && f >= fitInformativeRate {
+		gap = math.Abs(fit.Occupancy-nc) / math.Max(math.Max(fit.Occupancy, nc), 1)
+	}
+	cv := 0.0
+	if len(perWin) >= 2 {
+		var mean float64
+		for _, v := range perWin {
+			mean += v
+		}
+		mean /= float64(len(perWin))
+		var varsum float64
+		for _, v := range perWin {
+			varsum += (v - mean) * (v - mean)
+		}
+		if mean > 0 {
+			cv = math.Sqrt(varsum/float64(len(perWin))) / mean
+		}
+	}
+	fit.Residual = math.Max(gap, cv)
+	return fit, nil
+}
+
+// PredictShards returns the smallest candidate shard count expected to bring
+// the per-chain failed-CAS rate under maxRate, using the ~1/S contention
+// splitting the sharded store was built on: the per-chain rate at S′ chains
+// is f·S/S′. The ladder must be ascending; when no entry suffices the
+// largest is returned.
+func (f Fit) PredictShards(ladder []int, maxRate float64) int {
+	load := f.FailedPerPublish * float64(f.cfg.Shards)
+	for _, s := range ladder {
+		if load/float64(s) <= maxRate {
+			return s
+		}
+	}
+	return ladder[len(ladder)-1]
+}
+
+// OccupancyAt re-evaluates the fitted model at another operating point
+// (s chains, persistence bound tp): the contention load re-splits over the
+// chains, the loss probability and drop gain follow, and the fixed point of
+// the re-parameterized recursion is the predicted update-loop occupancy.
+func (f Fit) OccupancyAt(s, tp int) float64 {
+	if s < 1 {
+		s = 1
+	}
+	fs := f.FailedPerPublish * float64(f.cfg.Shards) / float64(s)
+	q := fs / (1 + fs)
+	p := Params{
+		M:     f.cfg.M,
+		Tc:    f.tcU,
+		Tu:    float64(s) * f.tuPassU / (1 - q),
+		Gamma: DropGamma(q, tp),
+	}
+	return p.FixedPoint()
+}
+
+// PredictTp returns the loosest candidate bound whose predicted mixed-read
+// rate stays under maxRate at shard count s. Mixed-version reads are
+// produced by concurrent in-flight publishers, so the observed rate is
+// scaled by the ratio of predicted to observed occupancy — Corollary 3.2's
+// γ-regulation made actionable. The ladder must be ordered loose→tight;
+// when even the tightest bound does not suffice it is returned.
+func (f Fit) PredictTp(ladder []int, s int, maxRate float64) int {
+	if f.MixedRate <= maxRate || f.Occupancy <= 0 {
+		return ladder[0]
+	}
+	for _, tp := range ladder {
+		if f.MixedRate*f.OccupancyAt(s, tp)/f.Occupancy <= maxRate {
+			return tp
+		}
+	}
+	return ladder[len(ladder)-1]
+}

@@ -1,0 +1,258 @@
+package queuemodel
+
+import (
+	"math"
+	"testing"
+)
+
+// obsFromSim converts one simulation run into a controller-style window.
+func obsFromSim(res SimResult) Observation {
+	return Observation{Failed: res.FailedCAS, Published: res.Published}
+}
+
+func TestDropGammaProperties(t *testing.T) {
+	if g := DropGamma(0.5, -1); g != 0 {
+		t.Fatalf("unbounded Tp must have zero drop gain, got %v", g)
+	}
+	if g := DropGamma(0, 4); g != 0 {
+		t.Fatalf("q=0 must have zero drop gain, got %v", g)
+	}
+	// Tp=0: every visit departs after one pass, E=1, so 1+γ = 1/(1−q).
+	q := 0.3
+	if got, want := DropGamma(q, 0), q/(1-q); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DropGamma(q,0) = %v, want q/(1-q) = %v", got, want)
+	}
+	// Monotone decreasing in Tp, vanishing as the bound loosens.
+	prev := math.Inf(1)
+	for _, tp := range []int{0, 1, 2, 4, 8, 16} {
+		g := DropGamma(q, tp)
+		if g >= prev {
+			t.Fatalf("drop gain not decreasing at Tp=%d: %v >= %v", tp, g, prev)
+		}
+		prev = g
+	}
+	if DropGamma(q, 64) > 1e-12 {
+		t.Fatalf("drop gain does not vanish for loose bounds: %v", DropGamma(q, 64))
+	}
+}
+
+// TestFitRecoversPlantedParams is the planted-parameter validation: windows
+// generated FROM the simulator at known (m, Tc, Tu) must fit back to a model
+// whose occupancy prediction matches the simulated occupancy within
+// tolerance, with a small residual — the closed form validated against the
+// sampled dynamics through the same counters a live run exposes.
+func TestFitRecoversPlantedParams(t *testing.T) {
+	cases := []Params{
+		{M: 16, Tc: 10, Tu: 2},
+		{M: 8, Tc: 6, Tu: 3},
+		{M: 24, Tc: 20, Tu: 2},
+	}
+	for _, p := range cases {
+		var obs []Observation
+		var simOcc float64
+		const windows = 4
+		for w := 0; w < windows; w++ {
+			res := Simulate(p, SimOptions{Tp: -1, Contention: true, Steps: 100000, Seed: uint64(41 + w)})
+			obs = append(obs, obsFromSim(res))
+			simOcc += res.MeanOccupancy / windows
+		}
+		fit, err := FitWindows(FitConfig{M: p.M, Shards: 1, Tp: -1, Tc: p.Tc, Tu: p.Tu}, obs)
+		if err != nil {
+			t.Fatalf("%+v: fit failed: %v", p, err)
+		}
+		if fit.Windows != windows {
+			t.Fatalf("%+v: fit consumed %d windows, want %d", p, fit.Windows, windows)
+		}
+		// Measured timings: the fitted ratio is the planted one exactly.
+		if got, want := fit.tcU/fit.tuPassU, p.Tc/p.Tu; math.Abs(got-want) > 1e-9*want {
+			t.Fatalf("%+v: fitted Tc/Tu ratio %v, want planted %v", p, got, want)
+		}
+		if fit.Params.Gamma != 0 {
+			t.Fatalf("%+v: unbounded run fitted γ=%v, want 0", p, fit.Params.Gamma)
+		}
+		// The model's occupancy prediction must recover the simulated
+		// occupancy, and the contention-implied estimate must agree (small
+		// residual): Theorem 3's closed form explaining the counters.
+		if tol := 0.30 * simOcc; math.Abs(fit.Occupancy-simOcc) > tol {
+			t.Fatalf("%+v: fitted occupancy %v vs simulated %v (tol %v)",
+				p, fit.Occupancy, simOcc, tol)
+		}
+		if fit.Residual > 0.30 {
+			t.Fatalf("%+v: residual %v too large for a model-generated workload", p, fit.Residual)
+		}
+	}
+}
+
+// TestFitRecoversBoundedRun: with a persistence bound planted, the fit must
+// recover a positive drop gain and still predict the (lower) occupancy.
+func TestFitRecoversBoundedRun(t *testing.T) {
+	p := Params{M: 16, Tc: 6, Tu: 3}
+	const tp = 1
+	var obs []Observation
+	var simOcc float64
+	const windows = 4
+	for w := 0; w < windows; w++ {
+		res := Simulate(p, SimOptions{Tp: tp, Contention: true, Steps: 100000, Seed: uint64(97 + w)})
+		if res.Dropped == 0 {
+			t.Fatal("bounded contended run never dropped; workload too tame for the test")
+		}
+		obs = append(obs, obsFromSim(res))
+		simOcc += res.MeanOccupancy / windows
+	}
+	fit, err := FitWindows(FitConfig{M: p.M, Shards: 1, Tp: tp, Tc: p.Tc, Tu: p.Tu}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Params.Gamma <= 0 {
+		t.Fatalf("bounded run fitted γ=%v, want > 0", fit.Params.Gamma)
+	}
+	if tol := 0.35 * simOcc; math.Abs(fit.Occupancy-simOcc) > tol {
+		t.Fatalf("fitted occupancy %v vs simulated %v (tol %v)", fit.Occupancy, simOcc, tol)
+	}
+	// Loosening the bound in the fitted model must raise predicted
+	// occupancy (Corollary 3.2's direction).
+	if loose := fit.OccupancyAt(1, -1); loose <= fit.Occupancy {
+		t.Fatalf("unbounded prediction %v not above bounded %v", loose, fit.Occupancy)
+	}
+}
+
+// TestFitInferredRatio: with no phase timings, the fit inverts the fixed
+// point at the contention-implied occupancy; the recovered ratio must be in
+// the neighbourhood of the planted one.
+func TestFitInferredRatio(t *testing.T) {
+	p := Params{M: 16, Tc: 10, Tu: 2}
+	var obs []Observation
+	for w := 0; w < 4; w++ {
+		res := Simulate(p, SimOptions{Tp: -1, Contention: true, Steps: 100000, Seed: uint64(7 + w)})
+		obs = append(obs, obsFromSim(res))
+	}
+	fit, err := FitWindows(FitConfig{M: p.M, Shards: 1, Tp: -1}, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inferred mode pins occupancy to the contention estimate.
+	if math.Abs(fit.Occupancy-fit.Contention) > 1e-6*fit.Contention {
+		t.Fatalf("inferred fit: occupancy %v != contention %v", fit.Occupancy, fit.Contention)
+	}
+	// The planted per-visit ratio Tc(1−q)/Tu, compared to the inferred one.
+	want := p.Tc * (1 - fit.Q) / p.Tu
+	got := fit.Params.Tc / fit.Params.Tu
+	if math.Abs(got-want) > 0.5*want {
+		t.Fatalf("inferred Tc/Tu_visit ratio %v, planted %v", got, want)
+	}
+}
+
+func TestFitDegenerateInputs(t *testing.T) {
+	good := []Observation{{Failed: 10, Published: 100, Mixed: 5, Reads: 100}}
+	if _, err := FitWindows(FitConfig{M: 0, Shards: 1}, good); err == nil {
+		t.Fatal("fit accepted zero workers")
+	}
+	if _, err := FitWindows(FitConfig{M: 1, Shards: 1}, good); err == nil {
+		t.Fatal("fit accepted a single-worker run (no contention signal)")
+	}
+	if _, err := FitWindows(FitConfig{M: 8, Shards: 1}, nil); err == nil {
+		t.Fatal("fit accepted an empty window set")
+	}
+	zero := []Observation{{Failed: 0, Published: 0}, {Failed: 0, Published: 0}}
+	if _, err := FitWindows(FitConfig{M: 8, Shards: 1}, zero); err == nil {
+		t.Fatal("fit accepted all-zero-publish windows")
+	}
+	// Zero-publish windows mixed into good ones are skipped, not fatal.
+	fit, err := FitWindows(FitConfig{M: 8, Shards: 1, Tc: 10, Tu: 2},
+		append(append([]Observation{{Failed: 0, Published: 0}}, good...), Observation{}))
+	if err != nil {
+		t.Fatalf("fit rejected a window set with some zero-publish windows: %v", err)
+	}
+	if fit.Windows != 1 {
+		t.Fatalf("fit counted %d signal windows, want 1", fit.Windows)
+	}
+}
+
+// TestFitResidualFlagsDisagreement: the residual must be large both when the
+// windows are unstable (contention estimate varies wildly) and when the
+// measured timings contradict the contention counters (the model-falsified
+// case the controller's fallback is gated on).
+func TestFitResidualFlagsDisagreement(t *testing.T) {
+	unstable := []Observation{
+		{Failed: 1, Published: 1000},
+		{Failed: 5000, Published: 1000},
+	}
+	fit, err := FitWindows(FitConfig{M: 16, Shards: 1, Tc: 10, Tu: 2}, unstable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Residual < 0.5 {
+		t.Fatalf("unstable windows fit with residual %v, want >= 0.5", fit.Residual)
+	}
+
+	// Timings say the update phase dominates (occupancy near m), counters
+	// say nearly no contention: the fluid prediction cannot explain them.
+	contradiction := []Observation{
+		{Failed: 10, Published: 1000},
+		{Failed: 11, Published: 1000},
+	}
+	fit, err = FitWindows(FitConfig{M: 16, Shards: 1, Tc: 1, Tu: 50}, contradiction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Residual < 0.5 {
+		t.Fatalf("contradictory timings fit with residual %v, want >= 0.5", fit.Residual)
+	}
+}
+
+func TestPredictShards(t *testing.T) {
+	ladder := []int{1, 2, 4, 8, 16}
+	mk := func(failed, pubs int64, shards int) Fit {
+		fit, err := FitWindows(FitConfig{M: 16, Shards: shards, Tp: -1, Tc: 10, Tu: 2},
+			[]Observation{{Failed: failed, Published: pubs}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fit
+	}
+	// f = 0.4 at S=1: the 1/S law wants the smallest S with 0.4/S <= 0.05.
+	if got := mk(400, 1000, 1).PredictShards(ladder, 0.05); got != 8 {
+		t.Fatalf("predicted S=%d for f=0.4, want 8", got)
+	}
+	// Uncontended: stay at (or descend to) a single chain.
+	if got := mk(0, 1000, 8).PredictShards(ladder, 0.05); got != 1 {
+		t.Fatalf("predicted S=%d for f=0, want 1", got)
+	}
+	// Saturating: even the top of the ladder is returned when nothing
+	// suffices.
+	if got := mk(5000, 1000, 1).PredictShards(ladder, 0.05); got != 16 {
+		t.Fatalf("predicted S=%d for f=5, want 16 (ladder top)", got)
+	}
+}
+
+func TestPredictTp(t *testing.T) {
+	ladder := []int{16, 8, 4, 2, 1, 0}
+	mk := func(mixed, reads int64) Fit {
+		fit, err := FitWindows(FitConfig{M: 16, Shards: 1, Tp: 16, Tc: 4, Tu: 4},
+			[]Observation{{Failed: 3000, Published: 1000, Mixed: mixed, Reads: reads}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fit
+	}
+	// Clean reads: keep the loosest bound, no gradient is worth dropping.
+	if got := mk(10, 1000).PredictTp(ladder, 1, 0.2); got != 16 {
+		t.Fatalf("predicted Tp=%d for clean reads, want 16", got)
+	}
+	// Heavy mixed-read pressure: the predicted bound must tighten.
+	tight := mk(900, 1000).PredictTp(ladder, 1, 0.2)
+	if tight >= 16 {
+		t.Fatalf("predicted Tp=%d under mixed-read pressure, want tighter than 16", tight)
+	}
+	// Monotonicity of the underlying occupancy curve: tighter bounds mean
+	// lower predicted occupancy.
+	fit := mk(900, 1000)
+	prev := math.Inf(1)
+	for _, tp := range ladder {
+		occ := fit.OccupancyAt(1, tp)
+		if occ > prev+1e-12 {
+			t.Fatalf("occupancy not decreasing along the tighten ladder at Tp=%d", tp)
+		}
+		prev = occ
+	}
+}

@@ -18,8 +18,26 @@
 // regulation mechanism. E[τ^s] ≈ n*_γ estimates the scheduling component of
 // staleness.
 //
-// The package also contains a discrete-event simulator of the same system so
-// the experiments can validate the fluid model against sampled dynamics.
+// Map of the API onto the paper's statements:
+//
+//   - Step — one iterate of the occupancy recursion, eq. (4), with the
+//     γ-augmented departure rate of eq. (6);
+//   - NT — the closed-form n_t of Theorem 3 (eq. 5);
+//   - FixedPoint — the stable fixed point n* of Corollary 3.1, and its
+//     γ-regulated form n*_γ of Corollary 3.2 when Gamma > 0;
+//   - Balance — Corollary 3.2's observation that the occupancy fraction
+//     n*/m depends only on the Tu/Tc ratio;
+//   - ExpectedTauS — the Sec. IV-2 estimate E[τ^s] ≈ n*_γ of the
+//     scheduling-staleness component;
+//   - Trajectory — the sampled path of eq. (4), for plots and tests;
+//   - Simulate — a discrete-event simulator of the same m-worker system, so
+//     the closed form can be validated against sampled dynamics;
+//   - DropGamma / FitWindows / Fit (fit.go) — the inverse direction:
+//     recover (Tc/Tu, γ, n*) from a live run's windowed failed-CAS,
+//     publish and mixed-read counters, with a residual that reports how
+//     well Theorem 3 explains the measurements. Fit.PredictShards and
+//     Fit.PredictTp turn the fitted model into an (S, Tp) operating-point
+//     prediction — the model-guided autotune jump.
 package queuemodel
 
 import (
@@ -108,7 +126,13 @@ type SimResult struct {
 	MeanOccupancy float64 // time-averaged number of threads in the retry loop
 	Published     int64   // successful publishes
 	Dropped       int64   // gradients abandoned by the persistence bound
-	MeanTauS      float64 // mean publishes between retry-loop entry and own publish
+	// FailedCAS counts the retry-loop passes lost to a concurrent publisher
+	// (Contention mode only). FailedCAS/Published is the simulated
+	// failed-per-publish rate — the same signal a live run's counters
+	// window, which is what lets FitWindows be validated against planted
+	// parameters (fit_test.go).
+	FailedCAS int64
+	MeanTauS  float64 // mean publishes between retry-loop entry and own publish
 }
 
 // SimOptions configures the discrete-event simulator.
@@ -160,7 +184,7 @@ func simulate(p Params, tp int, contention bool, steps int, seed uint64) SimResu
 	for i := range workers {
 		workers[i].nextEvent = expSample(p.Tc)
 	}
-	var published, dropped int64
+	var published, dropped, failedCAS int64
 	var tauSum float64
 	var occupancyIntegral float64
 	lastT := 0.0
@@ -197,6 +221,7 @@ func simulate(p Params, tp int, contention bool, steps int, seed uint64) SimResu
 		contended := contention && occ > 1 && r.Float64() < float64(occ-1)/float64(occ)
 		if contended {
 			// Lost the CAS to a concurrent publisher.
+			failedCAS++
 			w.fails++
 			if tp >= 0 && w.fails > tp {
 				dropped++
@@ -212,7 +237,7 @@ func simulate(p Params, tp int, contention bool, steps int, seed uint64) SimResu
 		w.inLoop = false
 		w.nextEvent = now + expSample(p.Tc)
 	}
-	res := SimResult{Published: published, Dropped: dropped}
+	res := SimResult{Published: published, Dropped: dropped, FailedCAS: failedCAS}
 	if lastT > 0 {
 		res.MeanOccupancy = occupancyIntegral / lastT
 	}

@@ -289,6 +289,21 @@ func (t *tuner) observe(w window) (s, tp int, sChanged, tpChanged bool) {
 	return s, t.tp.value(), sChanged, false
 }
 
+// syncTo forces both axes to the ladder positions nearest (s, tp) with a
+// clean slate (no pending evaluation, one cooldown window) — called after a
+// model-guided jump so a later fallback resumes the hill-climb from the
+// point the model landed on.
+func (t *tuner) syncTo(s, tp int) {
+	t.s.pos = ladderPos(t.s.ladder, s)
+	t.s.pending = -1
+	t.s.wait = autoTuneCool
+	if !t.tpFrozen {
+		t.tp.pos = ladderPos(t.tp.ladder, tp)
+		t.tp.pending = -1
+		t.tp.wait = autoTuneCool
+	}
+}
+
 func rateOf(num, den int64) float64 {
 	if den <= 0 {
 		return 0
@@ -312,7 +327,11 @@ type autoTuner struct {
 	mu    sync.RWMutex
 	epoch *shardEpoch
 
-	joint        *tuner
+	joint *tuner
+	// model is the model-guided decision core (Config.AutoTuneModel); nil
+	// for ladder-only runs. When set, the controller asks it first and only
+	// feeds the ladder the windows the model hands back (modeltune.go).
+	model        *modelTuner
 	bound        atomic.Int64 // current tuned persistence bound Tp
 	trajectory   []int
 	tpTrajectory []int
@@ -407,6 +426,13 @@ func (at *autoTuner) fill(res *Result) {
 	res.ShardTrajectory = append([]int(nil), at.trajectory...)
 	res.Reshards = len(at.trajectory) - 1
 	res.TpTrajectory = append([]int(nil), at.tpTrajectory...)
+	if at.model != nil {
+		finalTp := PersistenceInf
+		if !at.joint.tpFrozen {
+			finalTp = int(at.bound.Load())
+		}
+		res.ModelFit = at.model.result(res.Shards, finalTp)
+	}
 
 	peak, allocs, reuses := poolEquivalents(e.store)
 	if at.peakEq > peak {
@@ -441,11 +467,18 @@ func (at *autoTuner) launchController(rt *runCtx, wg *sync.WaitGroup) {
 			}
 			failed, pubs, touched := at.totals()
 			consistent, mixed := rt.readTotals()
-			d := win.Deltas(failed, pubs, mixed, consistent+mixed, touched)
-			newS, newTp, sChanged, tpChanged := at.joint.observe(window{
+			tcNs, tcN, tuNs := rt.timingTotals()
+			d := win.Deltas(failed, pubs, mixed, consistent+mixed, touched,
+				tcNs, tcN, tuNs)
+			w := window{
 				failed: d[0], pubs: d[1], mixed: d[2], reads: d[3],
 				touched: d[4],
-			})
+			}
+			if at.model != nil {
+				at.modelStep(rt, w, d[5], d[6], d[7])
+				continue
+			}
+			newS, newTp, sChanged, tpChanged := at.joint.observe(w)
 			if tpChanged {
 				at.retune(newTp)
 			}

@@ -27,8 +27,8 @@ func faultConfig(algo Algorithm, workers int) Config {
 func TestInjectedWorkerPanicBudgetExact(t *testing.T) {
 	ds := tinyDataset()
 	cases := []struct {
-		name   string
-		mut    func(*Config)
+		name string
+		mut  func(*Config)
 	}{
 		{"leashed-s1", func(c *Config) {}},
 		{"leashed-s4", func(c *Config) { c.Shards = 4 }},

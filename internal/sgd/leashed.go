@@ -69,6 +69,10 @@ func (rt *runCtx) newLeashedStrategy(initVec *paramvec.Vector) *leashedStrategy 
 			joint: newTuner(cfg.AutoShardInitial, maxS, cfg.Persistence, cfg.AutoTuneTpMax, tpFrozen),
 			buf:   make([]float64, rt.d),
 		}
+		if cfg.AutoTuneModel {
+			at.model = newModelTuner(cfg.Workers, shardLadder(maxS),
+				tpLadder(cfg.AutoTuneTpMax), tpFrozen)
+		}
 		at.epoch = newShardEpoch(rt.d, at.joint.s.value(), initVec.Theta)
 		at.trajectory = []int{at.epoch.store.Chains()}
 		if !tpFrozen {

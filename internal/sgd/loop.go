@@ -259,6 +259,15 @@ func (rt *runCtx) workerLoop(id int, st strategy) (fault *WorkerFault) {
 		w.gw.close()
 	}()
 	timeCommit := st.loopTimesCommit()
+	// The model-guided autotuner samples phase timings through atomic
+	// per-worker tallies the controller can read mid-run (Config.SampleTiming
+	// feeds the merge-at-exit DurationSamplers instead, which no concurrent
+	// reader may touch). Either consumer turns the timing sites on.
+	var tt *timeTally
+	if rt.timing != nil {
+		tt = &rt.timing[id]
+	}
+	sample := cfg.SampleTiming || tt != nil
 	for st.begin(w) {
 		w.iter++
 		pv := st.read(w)
@@ -275,20 +284,33 @@ func (rt *runCtx) workerLoop(id int, st strategy) (fault *WorkerFault) {
 			}
 		}
 		var t0 time.Time
-		if cfg.SampleTiming {
+		if sample {
 			t0 = time.Now()
 		}
 		s := w.gw.compute(pv, w.velocity)
-		if cfg.SampleTiming {
-			w.tc.Observe(time.Since(t0))
+		if sample {
+			d := time.Since(t0)
+			if cfg.SampleTiming {
+				w.tc.Observe(d)
+			}
+			if tt != nil {
+				tt.tcNs.Add(int64(d))
+				tt.tcN.Add(1)
+			}
 		}
 		st.endRead(w)
-		if cfg.SampleTiming && timeCommit {
+		if sample && timeCommit {
 			t0 = time.Now()
 		}
 		committed := st.commit(w, s)
-		if cfg.SampleTiming && timeCommit && committed {
-			w.tu.Observe(time.Since(t0))
+		if sample && timeCommit && committed {
+			d := time.Since(t0)
+			if cfg.SampleTiming {
+				w.tu.Observe(d)
+			}
+			if tt != nil {
+				tt.tuNs.Add(int64(d))
+			}
 		}
 		st.end(w)
 	}

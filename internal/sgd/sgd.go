@@ -126,6 +126,18 @@ type Config struct {
 	// AutoShard is the PR-2 name of the autotuner knob, kept as a
 	// compatibility alias: setting it behaves exactly like AutoTune.
 	AutoShard bool
+	// AutoTuneModel upgrades the autotuner to model-guided mode (implies
+	// AutoTune): the controller fits the paper's Sec. IV fluid model to the
+	// windowed counters plus live Tc/Tu phase timings
+	// (queuemodel.FitWindows) and, when the fit's residual passes, JUMPS to
+	// the predicted (S, Tp) operating point through the same actuators the
+	// ladder uses — reaching the knee in one window per axis instead of
+	// ~3 per ladder step. A poor fit (residual above threshold, or a
+	// workload with no contention signal) demotes the run permanently to
+	// the empirical ladder, so the worst case is plain AutoTune. The fit
+	// record lands in Result.ModelFit. Under LeashedAdaptive the Tp axis
+	// stays worker-owned; only S is model-steered.
+	AutoTuneModel bool
 	// AutoShardInitial is the autotuner's starting shard count S₀
 	// (default 1, the paper's single chain).
 	AutoShardInitial int
@@ -241,8 +253,9 @@ func (c Config) withDefaults(dsLen int) Config {
 	if c.Shards <= 0 {
 		c.Shards = 1
 	}
-	if c.AutoShard {
-		// Compatibility alias: PR-2 configs set AutoShard.
+	if c.AutoShard || c.AutoTuneModel {
+		// Compatibility alias (PR-2 configs set AutoShard) and the
+		// model-guided upgrade both ride on the AutoTune machinery.
 		c.AutoTune = true
 	}
 	if c.AutoTune {
@@ -401,6 +414,12 @@ type Result struct {
 	Reshards        int
 	TpTrajectory    []int
 
+	// ModelFit is the model-guided tuner's record (nil unless
+	// Config.AutoTuneModel): the last accepted fitted queuemodel, its
+	// residual, the predicted vs landed operating point, and the jump vs
+	// fallback-ladder move counts.
+	ModelFit *ModelFitResult
+
 	// ParameterVector memory accounting (Fig. 10): buffers live at peak
 	// and at exit, plus total heap allocations (allocations ≪ checkouts
 	// demonstrates recycling).
@@ -486,6 +505,11 @@ type runCtx struct {
 	// (exit-time flushing would starve the Tp axis of its signal).
 	readTallies []readTally
 
+	// timing holds the per-worker phase-timing tallies the model-guided
+	// tuner samples live (modeltune.go); nil unless Config.AutoTuneModel,
+	// so every other run pays exactly one nil check per iteration.
+	timing []timeTally
+
 	// pool checks out the workers' private buffers (gradients, read
 	// copies); the published chains live in the strategy's ParamStore.
 	pool *paramvec.Pool
@@ -566,6 +590,9 @@ func newRuntime(cfg Config, prob problem) *runCtx {
 	rt.tcs = make([]*metrics.DurationSampler, cfg.Workers)
 	rt.tus = make([]*metrics.DurationSampler, cfg.Workers)
 	rt.readTallies = make([]readTally, cfg.Workers)
+	if cfg.AutoTuneModel {
+		rt.timing = make([]timeTally, cfg.Workers)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		rt.hists[i] = metrics.NewHist(cfg.StalenessBound)
 		rt.tcs[i] = &metrics.DurationSampler{}

@@ -63,8 +63,9 @@
 //	        MaxTime:     30 * time.Second,
 //	}, model, ds)
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record of every reproduced table and figure.
+// See docs/architecture.md for the system inventory, docs/tuning.md for
+// the (Tp, S) controllers, and docs/benchmarks.md for the enforced
+// performance trajectory.
 package leashedsgd
 
 import (
@@ -113,6 +114,12 @@ type Config = sgd.Config
 // loss trace, staleness distribution, contention counters and memory
 // accounting.
 type Result = sgd.Result
+
+// ModelFitResult records what the model-guided autotuner
+// (Config.AutoTuneModel) did: whether the Sec. IV queueing-model fit was
+// accepted, the fitted residual, the predicted vs. landed (S, Tp) operating
+// point and the jump/fallback accounting. See Result.ModelFit.
+type ModelFitResult = sgd.ModelFitResult
 
 // Outcome classifies a finished run.
 type Outcome = sgd.Outcome
